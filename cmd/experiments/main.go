@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run all|fig1|tab1|tab2|tab3|fig9|tab4|fig10|tab5] [-full]
+//
+// By default a reduced-budget ("quick") configuration is used; -full runs
+// the Table II budgets on the full-size workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autoview/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id: all, fig1, tab1, tab2, tab3, fig9, tab4, fig10, tab5, ablation")
+	full := flag.Bool("full", false, "use the full Table II budgets (slower)")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = []string{"fig1", "tab1", "tab2", "tab3", "fig9", "tab4", "fig10", "tab5", "ablation"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := runOne(strings.TrimSpace(id), scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("  (%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runOne(id string, scale experiments.Scale) (string, error) {
+	switch id {
+	case "fig1":
+		r, err := experiments.Fig1(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "tab1":
+		r, err := experiments.Tab1(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "tab2":
+		return experiments.Tab2(), nil
+	case "tab3":
+		r, err := experiments.Tab3(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig9":
+		r, err := experiments.Fig9(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "tab4":
+		r, err := experiments.Tab4(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig10":
+		r, err := experiments.Fig10(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "tab5":
+		r, err := experiments.Tab5(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "ablation":
+		r, err := experiments.Ablations(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+}

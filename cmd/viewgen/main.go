@@ -1,0 +1,181 @@
+// Command viewgen runs the end-to-end automatic view generation pipeline
+// (Figure 3 of the paper) on one of the built-in workloads and prints the
+// selected views plus the end-to-end savings report.
+//
+// Usage:
+//
+//	viewgen [-workload job|wk1|wk2] [-estimator actual|optimizer|wd]
+//	        [-selector rlview|bigsub|iterview|topkfreq|topkover|topkben|topknorm]
+//	        [-seed N] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autoview/internal/core"
+	"autoview/internal/engine"
+	"autoview/internal/plan"
+	"autoview/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "job", "built-in workload: job, wk1, wk2")
+	schemaPath := flag.String("schema", "", "JSON schema file for a custom workload (with -queries)")
+	queriesPath := flag.String("queries", "", "SQL file with the custom workload's queries")
+	est := flag.String("estimator", "wd", "benefit estimator: actual, optimizer, wd")
+	sel := flag.String("selector", "rlview", "view selector: rlview, bigsub, iterview, topkfreq, topkover, topkben, topknorm")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("verbose", false, "print selected view plans")
+	ddl := flag.Bool("ddl", false, "print CREATE MATERIALIZED VIEW statements for the selection")
+	flag.Parse()
+
+	var w *workload.Workload
+	var cfg core.Config
+	var err error
+	if *schemaPath != "" || *queriesPath != "" {
+		w, err = loadCustom(*schemaPath, *queriesPath)
+		cfg = core.WKConfig()
+		cfg.WDTrain.BatchSize = 16
+	} else {
+		w, cfg, err = pick(*wl)
+	}
+	if err != nil {
+		fail(err)
+	}
+	cfg.Seed = *seed
+	if cfg.Estimator, err = parseEstimator(*est); err != nil {
+		fail(err)
+	}
+	if cfg.Selector, err = parseSelector(*sel); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload %s: %d queries over %d tables\n", w.Name, len(w.Queries), w.Cat.Len())
+	start := time.Now()
+	adv := core.NewAdvisor(w.Cat, engine.New(w.Populate()), cfg)
+
+	pre := adv.Preprocess(w.Plans())
+	stats := w.Describe(pre)
+	fmt.Printf("pre-process: %d subqueries, %d equivalent pairs, |Z|=%d candidates, |Q|=%d associated queries, %d overlapping pairs\n",
+		stats.Subqueries, stats.EquivalentPairs, stats.Candidates, stats.AssociatedQuery, stats.OverlappingPairs)
+
+	p, err := adv.BuildProblem(w.Plans(), pre)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("estimator %s: benefit matrix %d×%d assembled\n",
+		cfg.Estimator, p.Instance.NumQueries(), p.Instance.NumViews())
+
+	selection := adv.Select(p)
+	nSel := 0
+	for _, z := range selection.Z {
+		if z {
+			nSel++
+		}
+	}
+	fmt.Printf("selector %s: %d views selected, estimated utility $%.4f\n",
+		selection.Method, nSel, selection.Utility)
+	if *verbose {
+		for j, z := range selection.Z {
+			if !z {
+				continue
+			}
+			cand := p.Candidates[j]
+			fmt.Printf("-- view %s (shared by %d queries, overhead $%.5f)\n%s",
+				cand.View.ID, len(cand.Queries), cand.Overhead, cand.View.Plan)
+		}
+	}
+
+	if *ddl {
+		for j, z := range selection.Z {
+			if z {
+				fmt.Println(plan.ViewDDL(p.Candidates[j].View.ID, p.Candidates[j].View.Plan))
+			}
+		}
+	}
+
+	rep, err := adv.Apply(p, selection)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(rep)
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// loadCustom reads a user-provided schema + queries pair.
+func loadCustom(schemaPath, queriesPath string) (*workload.Workload, error) {
+	if schemaPath == "" || queriesPath == "" {
+		return nil, fmt.Errorf("custom workloads need both -schema and -queries")
+	}
+	sf, err := os.Open(schemaPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	cat, err := workload.LoadCatalog(sf)
+	if err != nil {
+		return nil, err
+	}
+	qf, err := os.Open(queriesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer qf.Close()
+	return workload.LoadQueries(qf, cat, "custom")
+}
+
+func pick(name string) (*workload.Workload, core.Config, error) {
+	switch strings.ToLower(name) {
+	case "job":
+		return workload.JOB(), core.DefaultConfig(), nil
+	case "wk1":
+		return workload.WK1(), core.WKConfig(), nil
+	case "wk2":
+		return workload.WK2(), core.WKConfig(), nil
+	default:
+		return nil, core.Config{}, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func parseEstimator(name string) (core.EstimatorKind, error) {
+	switch strings.ToLower(name) {
+	case "actual":
+		return core.EstimatorActual, nil
+	case "optimizer":
+		return core.EstimatorOptimizer, nil
+	case "wd", "w-d", "widedeep":
+		return core.EstimatorWideDeep, nil
+	default:
+		return 0, fmt.Errorf("unknown estimator %q", name)
+	}
+}
+
+func parseSelector(name string) (core.SelectorKind, error) {
+	switch strings.ToLower(name) {
+	case "rlview":
+		return core.SelectorRLView, nil
+	case "bigsub":
+		return core.SelectorBigSub, nil
+	case "iterview":
+		return core.SelectorIterView, nil
+	case "topkfreq":
+		return core.SelectorTopkFreq, nil
+	case "topkover":
+		return core.SelectorTopkOver, nil
+	case "topkben":
+		return core.SelectorTopkBen, nil
+	case "topknorm":
+		return core.SelectorTopkNorm, nil
+	default:
+		return 0, fmt.Errorf("unknown selector %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "viewgen:", err)
+	os.Exit(1)
+}

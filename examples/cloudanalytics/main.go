@@ -1,0 +1,122 @@
+// Cloudanalytics demonstrates the learned components on a multi-project
+// cloud workload (WK1-style): it trains the Wide-Deep cost model on a
+// sample of measured rewrites, compares its estimates against the
+// traditional optimizer on held-out pairs, and then drives view selection
+// from the learned estimates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"autoview/internal/core"
+	"autoview/internal/costbase"
+	"autoview/internal/engine"
+	"autoview/internal/featenc"
+	"autoview/internal/rewrite"
+	"autoview/internal/workload"
+)
+
+func main() {
+	w := workload.WK(workload.WKParams{
+		Name: "cloud", Projects: 8, FactsPerProject: 2, DimsPerProject: 1,
+		Queries: 160, FragsPerProject: 3, Skew: 1.3, ThreeWayFraction: 0.2,
+		RowSkew: 2.0, UniqueFraction: 0.4, Seed: 2024,
+	})
+	fmt.Printf("cloud workload: %d queries across %d projects\n",
+		len(w.Queries), len(w.Cat.Projects()))
+
+	// --- Part 1: cost estimation quality ---------------------------------
+	store := w.Populate()
+	exec := engine.New(store)
+	mgr := rewrite.NewManager(store)
+	pricing := engine.DefaultPricing()
+	adv := core.NewAdvisor(w.Cat, exec, core.WKConfig())
+	pre := adv.Preprocess(w.Plans())
+	fmt.Printf("pre-process: |Z|=%d candidates\n", len(pre.Candidates))
+
+	// Measure every (query, view) pair on the engine as ground truth.
+	var pairs []costbase.Sample
+	for _, cand := range pre.Candidates {
+		v, err := mgr.Materialize(cand.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, qi := range cand.Queries {
+			q := w.Queries[qi].Plan
+			rw, n := rewrite.Rewrite(q, []*rewrite.View{v})
+			if n == 0 {
+				continue
+			}
+			u, err := exec.Cost(rw)
+			if err != nil {
+				log.Fatal(err)
+			}
+			qu, err := exec.Cost(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			su, err := exec.Cost(cand.Plan)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pairs = append(pairs, costbase.Sample{
+				Q: q, V: cand.Plan,
+				F:      featenc.Extract(q, cand.Plan, w.Cat),
+				Actual: u.Cost(pricing) * 1e4,
+				QCost:  qu.Cost(pricing) * 1e4,
+				VCost:  su.Cost(pricing) * 1e4,
+			})
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	split := len(pairs) * 7 / 10
+	train, test := pairs[:split], pairs[split:]
+	fmt.Printf("measured %d (query, view) pairs; %d train / %d test\n",
+		len(pairs), len(train), len(test))
+
+	scaled := pricing
+	scaled.Alpha *= 1e4
+	scaled.Beta *= 1e4
+	scaled.Gamma *= 1e4
+	optEst := &costbase.OptimizerEstimator{Cat: w.Cat, Pricing: scaled}
+	dl := &costbase.DeepLearn{Cat: w.Cat, Pricing: scaled, Epochs: 25, Seed: 3}
+	if err := dl.Fit(train); err != nil {
+		log.Fatal(err)
+	}
+	report := func(name string, est costbase.Estimator) {
+		var mae, mape float64
+		n := 0
+		for _, s := range test {
+			pred := est.Predict(s)
+			mae += math.Abs(pred - s.Actual)
+			if s.Actual != 0 {
+				mape += math.Abs((pred - s.Actual) / s.Actual)
+				n++
+			}
+		}
+		fmt.Printf("  %-10s MAE=%.3f MAPE=%.1f%%\n",
+			name, mae/float64(len(test)), 100*mape/float64(n))
+	}
+	fmt.Println("held-out estimation error (cost units):")
+	report("Optimizer", optEst)
+	report("DeepLearn", dl)
+
+	// --- Part 2: selection driven by the learned estimator ----------------
+	cfg := core.WKConfig()
+	cfg.Estimator = core.EstimatorWideDeep
+	cfg.Selector = core.SelectorRLView
+	cfg.RL.Epochs = 20
+	cfg.WDTrain.Epochs = 15
+	cfg.WDTrain.BatchSize = 16
+	adv2 := core.NewAdvisor(w.Cat, engine.New(w.Populate()), cfg)
+	rep, err := adv2.Run(w.Plans())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nend-to-end with W-D + RLView:")
+	fmt.Println(" ", rep)
+}

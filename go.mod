@@ -1,0 +1,3 @@
+module autoview
+
+go 1.22

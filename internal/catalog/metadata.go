@@ -1,0 +1,115 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CostRecord is one training example for the cost estimation model:
+// the plans of a query and a view, the associated table names, and the
+// actual cost of the rewritten query (Section III, "Offline-training").
+type CostRecord struct {
+	QueryID   string     `json:"query_id"`
+	ViewID    string     `json:"view_id"`
+	QueryPlan [][]string `json:"query_plan"` // operator sequences (Fig. 4)
+	ViewPlan  [][]string `json:"view_plan"`
+	Tables    []string   `json:"tables"`
+	// ActualCost is A(q|v), the measured cost of the rewritten query.
+	ActualCost float64 `json:"actual_cost"`
+	// RawCost is A(q), the measured cost of the original query; kept so
+	// benefits B = A(q) - A(q|v) can be recomputed.
+	RawCost float64 `json:"raw_cost"`
+}
+
+// Experience is one DQN replay tuple ⟨e_t, a_t, r_t, e_{t+1}⟩ persisted for
+// offline training (Algorithm 2 stores the memory pool in the metadata DB).
+type Experience struct {
+	State     []float64 `json:"state"`
+	Action    int       `json:"action"`
+	Reward    float64   `json:"reward"`
+	NextState []float64 `json:"next_state"`
+	Terminal  bool      `json:"terminal"`
+}
+
+// MetadataDB is the paper's "metadata database": it stores training data
+// for both offline-trained models. It is safe for concurrent use.
+type MetadataDB struct {
+	mu          sync.RWMutex
+	costRecords []CostRecord
+	experiences []Experience
+}
+
+// NewMetadataDB returns an empty metadata database.
+func NewMetadataDB() *MetadataDB { return &MetadataDB{} }
+
+// AddCostRecord appends a cost-estimation training example.
+func (m *MetadataDB) AddCostRecord(r CostRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.costRecords = append(m.costRecords, r)
+}
+
+// CostRecords returns a copy of all stored cost records.
+func (m *MetadataDB) CostRecords() []CostRecord {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]CostRecord, len(m.costRecords))
+	copy(out, m.costRecords)
+	return out
+}
+
+// AddExperience appends one replay tuple.
+func (m *MetadataDB) AddExperience(e Experience) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.experiences = append(m.experiences, e)
+}
+
+// Experiences returns a copy of all stored replay tuples.
+func (m *MetadataDB) Experiences() []Experience {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Experience, len(m.experiences))
+	copy(out, m.experiences)
+	return out
+}
+
+// Counts reports (#cost records, #experiences).
+func (m *MetadataDB) Counts() (int, int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.costRecords), len(m.experiences)
+}
+
+// snapshot is the on-disk representation.
+type snapshot struct {
+	CostRecords []CostRecord `json:"cost_records"`
+	Experiences []Experience `json:"experiences"`
+}
+
+// Save serializes the database as JSON.
+func (m *MetadataDB) Save(w io.Writer) error {
+	m.mu.RLock()
+	snap := snapshot{CostRecords: m.costRecords, Experiences: m.experiences}
+	m.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("metadata: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database contents from JSON previously written by Save.
+func (m *MetadataDB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("metadata: load: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.costRecords = snap.CostRecords
+	m.experiences = snap.Experiences
+	return nil
+}

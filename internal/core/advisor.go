@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"autoview/internal/catalog"
+	"autoview/internal/costbase"
+	"autoview/internal/engine"
+	"autoview/internal/equiv"
+	"autoview/internal/featenc"
+	"autoview/internal/metrics"
+	"autoview/internal/mvs"
+	"autoview/internal/plan"
+	"autoview/internal/rewrite"
+	"autoview/internal/rl"
+	"autoview/internal/selbase"
+	"autoview/internal/widedeep"
+)
+
+// Advisor runs the end-to-end pipeline over one workload.
+type Advisor struct {
+	Cat  *catalog.Catalog
+	Exec *engine.Executor
+	Mgr  *rewrite.Manager
+	Meta *catalog.MetadataDB
+	Cfg  Config
+}
+
+// NewAdvisor builds an advisor over populated storage.
+func NewAdvisor(cat *catalog.Catalog, exec *engine.Executor, cfg Config) *Advisor {
+	return &Advisor{
+		Cat:  cat,
+		Exec: exec,
+		Mgr:  rewrite.NewManager(exec.Store),
+		Meta: catalog.NewMetadataDB(),
+		Cfg:  cfg,
+	}
+}
+
+// Candidate bundles one selectable view with its measurements.
+type Candidate struct {
+	*equiv.Candidate
+	View     *rewrite.View
+	Overhead float64 // O_vj under the configured estimator
+}
+
+// Problem is the assembled MVS instance plus everything needed to apply a
+// selection to the workload.
+type Problem struct {
+	// Queries holds the workload plans (full workload order).
+	Queries []*plan.Node
+	// Pre is the pre-process result.
+	Pre *equiv.Result
+	// Candidates aligns with Instance's view axis.
+	Candidates []*Candidate
+	// AssocQueries maps Instance's query axis to workload indices.
+	AssocQueries []int
+	// Instance is the ILP instance (benefits from the configured
+	// estimator; overlaps from Definition 5).
+	Instance *mvs.Instance
+	// QueryCost[i] is the measured cost A(q) of workload query i.
+	QueryCost []float64
+	// Model is the trained W-D model when Estimator is EstimatorWideDeep.
+	Model *widedeep.Model
+
+	// benefits[ai][j] backs Instance.Benefit (associated-query axis).
+	benefits [][]float64
+}
+
+// Frequencies returns per-candidate workload frequencies (TopkFreq input).
+func (p *Problem) Frequencies() []int {
+	out := make([]int, len(p.Candidates))
+	for j, c := range p.Candidates {
+		out[j] = c.Frequency
+	}
+	return out
+}
+
+// TotalQueryCost is Σ A(q) over the associated queries — the denominator
+// of Table IV's ratio.
+func (p *Problem) TotalQueryCost() float64 {
+	var total float64
+	for _, qi := range p.AssocQueries {
+		total += p.QueryCost[qi]
+	}
+	return total
+}
+
+// Preprocess runs the pre-process stage (Fig. 3) with the analytic cost
+// model ranking cluster representatives.
+func (a *Advisor) Preprocess(queries []*plan.Node) *equiv.Result {
+	return equiv.Preprocess(queries, &equiv.Options{
+		MinShare: a.Cfg.MinShare,
+		CostOf: func(n *plan.Node) float64 {
+			est := costbase.EstimatePlan(n, a.Cat)
+			return est.Usage().TotalViewOverhead(a.Cfg.Pricing)
+		},
+	})
+}
+
+// BuildProblem materializes the candidate views, measures or estimates
+// benefits and overheads per the configured estimator, and assembles the
+// ILP instance. Measured (q, v, cost) triples are recorded in the
+// metadata database as training data.
+func (a *Advisor) BuildProblem(queries []*plan.Node, pre *equiv.Result) (*Problem, error) {
+	p := &Problem{Queries: queries, Pre: pre, AssocQueries: pre.AssociatedQueries}
+	pricing := a.Cfg.Pricing
+
+	// Measure raw query costs once.
+	p.QueryCost = make([]float64, len(queries))
+	for i, q := range queries {
+		u, err := a.Exec.Cost(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring query %d: %w", i, err)
+		}
+		p.QueryCost[i] = u.Cost(pricing)
+	}
+
+	// Materialize every candidate (needed to rewrite later; its actual
+	// build usage provides the measured overhead).
+	for _, cand := range pre.Candidates {
+		v, err := a.Mgr.Materialize(cand.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: materializing candidate: %w", err)
+		}
+		overhead := v.Overhead(pricing)
+		if a.Cfg.Estimator == EstimatorOptimizer {
+			est := costbase.EstimatePlan(cand.Plan, a.Cat)
+			overhead = est.Usage().TotalViewOverhead(pricing)
+		}
+		p.Candidates = append(p.Candidates, &Candidate{
+			Candidate: cand,
+			View:      v,
+			Overhead:  overhead,
+		})
+	}
+
+	if err := a.fillBenefits(p); err != nil {
+		return nil, err
+	}
+
+	// Assemble the instance on the associated-query axis.
+	nv := len(p.Candidates)
+	inst := &mvs.Instance{
+		Overhead: make([]float64, nv),
+		Overlap:  make([][]bool, nv),
+	}
+	for j, c := range p.Candidates {
+		inst.Overhead[j] = c.Overhead
+		inst.Overlap[j] = append([]bool(nil), pre.Overlap[j]...)
+	}
+	inst.Benefit = p.benefits
+	p.Instance = inst
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("core: assembled instance invalid: %w", err)
+	}
+	return p, nil
+}
+
+// pairKey identifies one (associated query, candidate) pair.
+type pairKey struct{ qi, j int }
+
+// fillBenefits populates p.benefits[ai][j] for associated query ai and
+// candidate j under the configured estimator.
+func (a *Advisor) fillBenefits(p *Problem) error {
+	pricing := a.Cfg.Pricing
+	assocIndex := make(map[int]int, len(p.AssocQueries))
+	for ai, qi := range p.AssocQueries {
+		assocIndex[qi] = ai
+	}
+	p.benefits = make([][]float64, len(p.AssocQueries))
+	for ai := range p.benefits {
+		p.benefits[ai] = make([]float64, len(p.Candidates))
+	}
+
+	// Enumerate applicable pairs.
+	var pairs []pairKey
+	for j, c := range p.Candidates {
+		for _, qi := range c.Queries {
+			pairs = append(pairs, pairKey{qi: qi, j: j})
+		}
+	}
+
+	switch a.Cfg.Estimator {
+	case EstimatorActual:
+		costs, err := a.measureAll(p, pairs)
+		if err != nil {
+			return err
+		}
+		for i, pk := range pairs {
+			a.recordPair(p, pk, costs[i])
+			p.benefits[assocIndex[pk.qi]][pk.j] = p.QueryCost[pk.qi] - costs[i]
+		}
+	case EstimatorOptimizer:
+		opt := &costbase.OptimizerEstimator{Cat: a.Cat, Pricing: pricing}
+		for _, pk := range pairs {
+			est := opt.EstimateRewritten(p.Queries[pk.qi], p.Candidates[pk.j].View.Plan)
+			qEst := costbase.EstimatePlan(p.Queries[pk.qi], a.Cat).Usage().Cost(pricing)
+			p.benefits[assocIndex[pk.qi]][pk.j] = qEst - est
+		}
+	case EstimatorWideDeep:
+		if err := a.wideDeepBenefits(p, pairs, assocIndex); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unknown estimator %v", a.Cfg.Estimator)
+	}
+	return nil
+}
+
+// measureAll measures A(q|v) for every pair by executing the rewritten
+// queries, fanned out over the available CPUs. The executor only reads the
+// store (views are already materialized) and each execution carries its
+// own meter, so concurrent measurement is safe; results are returned in
+// pair order so downstream consumers stay deterministic.
+func (a *Advisor) measureAll(p *Problem, pairs []pairKey) ([]float64, error) {
+	costs := make([]float64, len(pairs))
+	errs := make([]error, len(pairs))
+	pricing := a.Cfg.Pricing
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				pk := pairs[i]
+				rw, n := rewrite.Rewrite(p.Queries[pk.qi], []*rewrite.View{p.Candidates[pk.j].View})
+				if n == 0 {
+					costs[i] = p.QueryCost[pk.qi]
+					continue
+				}
+				u, err := a.Exec.Cost(rw)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				costs[i] = u.Cost(pricing)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring rewritten pair: %w", err)
+		}
+	}
+	return costs, nil
+}
+
+// wideDeepBenefits measures a training fraction of pairs, trains W-D on
+// them (Algorithm 1), and predicts the rest.
+func (a *Advisor) wideDeepBenefits(p *Problem, pairs []pairKey, assocIndex map[int]int) error {
+	pricing := a.Cfg.Pricing
+	frac := a.Cfg.TrainFraction
+	if frac <= 0 || frac > 1 {
+		frac = 0.7
+	}
+	trainIdx, _, _ := metrics.Split(len(pairs), frac, 0, a.Cfg.Seed)
+	inTrain := make(map[int]bool, len(trainIdx))
+	for _, i := range trainIdx {
+		inTrain[i] = true
+	}
+	var trainPairs []pairKey
+	for i, pk := range pairs {
+		if inTrain[i] {
+			trainPairs = append(trainPairs, pk)
+		}
+	}
+
+	// Shared vocabulary across plans.
+	extra := featenc.CollectPlanKeywords(p.Queries)
+	vocab := featenc.NewVocab(a.Cat, extra)
+	rng := rand.New(rand.NewSource(a.Cfg.Seed))
+	model := widedeep.New(vocab, a.Cfg.WDModel, rng)
+
+	costs, err := a.measureAll(p, trainPairs)
+	if err != nil {
+		return err
+	}
+	var samples []widedeep.Sample
+	scale := costScale(p.QueryCost)
+	for k, pk := range trainPairs {
+		cost := costs[k]
+		a.recordPair(p, pk, cost)
+		f := featenc.Extract(p.Queries[pk.qi], p.Candidates[pk.j].View.Plan, a.Cat)
+		samples = append(samples, widedeep.Sample{F: f, Y: cost * scale})
+		// Training pairs use their measured benefit directly.
+		p.benefits[assocIndex[pk.qi]][pk.j] = p.QueryCost[pk.qi] - cost
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("core: no W-D training pairs (workload too small?)")
+	}
+	if _, err := model.Fit(samples, a.Cfg.WDTrain); err != nil {
+		return err
+	}
+	p.Model = model
+
+	for i, pk := range pairs {
+		if inTrain[i] {
+			continue
+		}
+		f := featenc.Extract(p.Queries[pk.qi], p.Candidates[pk.j].View.Plan, a.Cat)
+		predicted := model.Predict(f) / scale
+		p.benefits[assocIndex[pk.qi]][pk.j] = p.QueryCost[pk.qi] - predicted
+	}
+	_ = pricing
+	return nil
+}
+
+// costScale maps dollar costs into O(1) training magnitudes.
+func costScale(costs []float64) float64 {
+	var max float64
+	for _, c := range costs {
+		if c > max {
+			max = c
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	return 1 / max
+}
+
+// recordPair persists a measured (q, v, cost) triple to the metadata
+// database (the paper's offline-training data collection).
+func (a *Advisor) recordPair(p *Problem, pk pairKey, cost float64) {
+	a.Meta.AddCostRecord(catalog.CostRecord{
+		QueryID:    fmt.Sprintf("q%d", pk.qi),
+		ViewID:     p.Candidates[pk.j].View.ID,
+		QueryPlan:  plan.SerializeTexts(p.Queries[pk.qi]),
+		ViewPlan:   plan.SerializeTexts(p.Candidates[pk.j].View.Plan),
+		Tables:     p.Queries[pk.qi].Tables(),
+		ActualCost: cost,
+		RawCost:    p.QueryCost[pk.qi],
+	})
+}
+
+// Selection is the outcome of the view-selection stage.
+type Selection struct {
+	Method  string
+	Z       []bool
+	Utility float64 // estimated utility under the instance's benefits
+	Trace   []float64
+	K       int // top-k cut for greedy methods (0 otherwise)
+}
+
+// Select runs the configured selection algorithm on the problem.
+func (a *Advisor) Select(p *Problem) *Selection {
+	in := p.Instance
+	rng := rand.New(rand.NewSource(a.Cfg.Seed + 7))
+	switch a.Cfg.Selector {
+	case SelectorRLView:
+		opts := a.Cfg.RL
+		opts.Rand = rng
+		// Offline training: when the metadata database already holds
+		// replay experiences (from earlier runs), pretrain the DQN on
+		// them and fine-tune online (Algorithm 2's DQN-offline path).
+		if a.Cfg.RLPretrainUpdates > 0 {
+			if _, ne := a.Meta.Counts(); ne > 0 {
+				if agent, err := rl.OfflineTrain(a.Meta, opts.Agent, a.Cfg.RLPretrainUpdates); err == nil {
+					opts.Pretrained = agent
+				}
+			}
+		}
+		res := rl.RLView(in, opts)
+		// Persist the replay pool for future offline training.
+		res.Agent.PersistMemory(a.Meta)
+		return &Selection{Method: "RLView", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}
+	case SelectorBigSub:
+		res := selbase.BigSub(in, selbase.BigSubOptions{
+			Iterations: a.Cfg.Iter.Iterations,
+			Rand:       rng,
+		})
+		return &Selection{Method: "BigSub", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}
+	case SelectorIterView:
+		opts := a.Cfg.Iter
+		opts.Rand = rng
+		res := mvs.IterView(in, opts)
+		return &Selection{Method: "IterView", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}
+	default:
+		strategy, ok := strategyOf(a.Cfg.Selector)
+		if !ok {
+			strategy = selbase.TopkBen
+		}
+		freq := p.Frequencies()
+		k, u := selbase.BestK(in, freq, strategy)
+		ranking := selbase.Ranking(in, freq, strategy)
+		z := make([]bool, in.NumViews())
+		for _, j := range ranking[:k] {
+			z[j] = true
+		}
+		return &Selection{Method: strategy.String(), Z: z, Utility: u, K: k}
+	}
+}
+
+func strategyOf(s SelectorKind) (selbase.Strategy, bool) {
+	switch s {
+	case SelectorTopkFreq:
+		return selbase.TopkFreq, true
+	case SelectorTopkOver:
+		return selbase.TopkOver, true
+	case SelectorTopkBen:
+		return selbase.TopkBen, true
+	case SelectorTopkNorm:
+		return selbase.TopkNorm, true
+	default:
+		return 0, false
+	}
+}

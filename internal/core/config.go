@@ -1,0 +1,155 @@
+// Package core is the public facade of the system: the end-to-end
+// pipeline of Figure 3. An Advisor pre-processes a workload (subquery
+// extraction, equivalence detection, clustering), estimates costs and
+// utilities (measured, analytic-optimizer, or Wide-Deep), selects views
+// (RLView, BigSub, IterView, or greedy top-k), rewrites the workload, and
+// reports end-to-end savings.
+package core
+
+import (
+	"autoview/internal/engine"
+	"autoview/internal/featenc"
+	"autoview/internal/mvs"
+	"autoview/internal/rl"
+	"autoview/internal/widedeep"
+)
+
+// EstimatorKind selects how per-pair benefits B(q, v) are obtained.
+type EstimatorKind int
+
+const (
+	// EstimatorActual measures every rewritten query on the engine —
+	// ground truth, used to evaluate the estimators themselves.
+	EstimatorActual EstimatorKind = iota
+	// EstimatorOptimizer uses the traditional analytic cost model
+	// (Table V's "O" configurations).
+	EstimatorOptimizer
+	// EstimatorWideDeep trains the W-D model on a sample of measured
+	// pairs and predicts the rest (Table V's "W" configurations).
+	EstimatorWideDeep
+)
+
+// String returns the short name used in the experiments.
+func (e EstimatorKind) String() string {
+	switch e {
+	case EstimatorActual:
+		return "Actual"
+	case EstimatorOptimizer:
+		return "Optimizer"
+	case EstimatorWideDeep:
+		return "W-D"
+	default:
+		return "?"
+	}
+}
+
+// SelectorKind selects the view-selection algorithm.
+type SelectorKind int
+
+const (
+	// SelectorRLView is the paper's DQN-based method.
+	SelectorRLView SelectorKind = iota
+	// SelectorBigSub is the freeze-converged iterative baseline.
+	SelectorBigSub
+	// SelectorIterView is raw iterative optimization (no freeze).
+	SelectorIterView
+	// SelectorTopkFreq .. SelectorTopkNorm are the greedy baselines.
+	SelectorTopkFreq
+	SelectorTopkOver
+	SelectorTopkBen
+	SelectorTopkNorm
+)
+
+// String returns the paper's method name.
+func (s SelectorKind) String() string {
+	switch s {
+	case SelectorRLView:
+		return "RLView"
+	case SelectorBigSub:
+		return "BigSub"
+	case SelectorIterView:
+		return "IterView"
+	case SelectorTopkFreq:
+		return "TopkFreq"
+	case SelectorTopkOver:
+		return "TopkOver"
+	case SelectorTopkBen:
+		return "TopkBen"
+	case SelectorTopkNorm:
+		return "TopkNorm"
+	default:
+		return "?"
+	}
+}
+
+// Config carries the pipeline parameters. DefaultConfig mirrors the
+// paper's Table II defaults for the JOB-scale setting.
+type Config struct {
+	Pricing engine.Pricing
+	// MinShare is the minimum number of queries sharing a cluster for
+	// it to become a candidate (pre-process).
+	MinShare int
+
+	Estimator EstimatorKind
+	// TrainFraction of measured pairs feeds W-D training (7:1:2 in the
+	// paper's split; the pipeline uses the train fraction only).
+	TrainFraction float64
+	// WDTrain is Algorithm 1's hyper-parameters (Table II: I, lr, b_s).
+	WDTrain widedeep.TrainConfig
+	// WDModel sizes the W-D network.
+	WDModel widedeep.Config
+
+	Selector SelectorKind
+	// Iter configures IterView/BigSub (Table II: n1 as warm start, and
+	// the iteration budget n for the convergence experiment).
+	Iter mvs.IterOptions
+	// RL configures RLView (Table II: n1, n2, nm, γ).
+	RL rl.Options
+	// RLPretrainUpdates, when positive, pretrains the DQN offline from
+	// the metadata database's stored replay pool (if any) before the
+	// online run — the paper's offline-training path. The online run's
+	// experiences are persisted back to the metadata database either way.
+	RLPretrainUpdates int
+
+	Seed int64
+}
+
+// DefaultConfig returns the paper's JOB defaults (Table II): I=50,
+// lr=0.01, b_s=8, n1=10, n2=90, nm=20, γ=0.9, and the pricing constants
+// α=1.67e-5, β=1e-1, γ=1e-3.
+func DefaultConfig() Config {
+	return Config{
+		Pricing:       engine.DefaultPricing(),
+		MinShare:      2,
+		Estimator:     EstimatorWideDeep,
+		TrainFraction: 0.7,
+		WDTrain: widedeep.TrainConfig{
+			Epochs:    50,
+			LearnRate: 0.01,
+			BatchSize: 8,
+		},
+		WDModel:  widedeep.Config{Encoder: featenc.Config{EmbedDim: 16, Hidden: 16}},
+		Selector: SelectorRLView,
+		Iter:     mvs.IterOptions{Iterations: 100},
+		RL: rl.Options{
+			InitIterations:  10,
+			Epochs:          90,
+			MemoryThreshold: 20,
+			Agent:           rl.AgentConfig{Gamma: 0.9},
+		},
+		Seed: 1,
+	}
+}
+
+// WKConfig returns the paper's WK-scale defaults (Table II): I=20,
+// lr=0.005, b_s=128, nm scaled to our workload sizes, and a reduced n2
+// (the paper uses 990/490 episodes on 38k/157k-query workloads; our
+// workloads are ~60× smaller, so episodes scale down accordingly).
+func WKConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WDTrain = widedeep.TrainConfig{Epochs: 20, LearnRate: 0.005, BatchSize: 128}
+	cfg.RL.Epochs = 60
+	cfg.RL.MemoryThreshold = 100
+	cfg.RL.LearnEvery = 4
+	return cfg
+}

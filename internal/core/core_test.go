@@ -1,0 +1,397 @@
+package core
+
+import (
+	"autoview/internal/mvs"
+	"autoview/internal/plan"
+	"autoview/internal/rewrite"
+	"math"
+	"testing"
+
+	"autoview/internal/engine"
+	"autoview/internal/workload"
+)
+
+// smallWK builds a compact workload for pipeline tests.
+func smallWK() *workload.Workload {
+	return workload.WK(workload.WKParams{
+		Name:             "mini",
+		Projects:         4,
+		FactsPerProject:  2,
+		DimsPerProject:   1,
+		Queries:          60,
+		FragsPerProject:  3,
+		Skew:             1.2,
+		ThreeWayFraction: 0.2,
+		RowSkew:          1.5,
+		Seed:             77,
+	})
+}
+
+func newAdvisor(t *testing.T, w *workload.Workload, cfg Config) *Advisor {
+	t.Helper()
+	st := w.Populate()
+	return NewAdvisor(w.Cat, engine.New(st), cfg)
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Estimator = EstimatorActual
+	cfg.WDTrain.Epochs = 3
+	cfg.RL.Epochs = 5
+	cfg.RL.InitIterations = 5
+	cfg.Iter.Iterations = 20
+	return cfg
+}
+
+func TestPreprocessFindsCandidates(t *testing.T) {
+	w := smallWK()
+	a := newAdvisor(t, w, fastConfig())
+	pre := a.Preprocess(w.Plans())
+	if len(pre.Candidates) == 0 {
+		t.Fatal("no candidates on a sharing-heavy workload")
+	}
+	if len(pre.AssociatedQueries) == 0 {
+		t.Fatal("no associated queries")
+	}
+}
+
+func TestBuildProblemActualBenefits(t *testing.T) {
+	w := smallWK()
+	a := newAdvisor(t, w, fastConfig())
+	pre := a.Preprocess(w.Plans())
+	p, err := a.BuildProblem(w.Plans(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Instance.NumViews() != len(pre.Candidates) {
+		t.Errorf("views %d != candidates %d", p.Instance.NumViews(), len(pre.Candidates))
+	}
+	if p.Instance.NumQueries() != len(pre.AssociatedQueries) {
+		t.Errorf("instance queries %d != associated %d", p.Instance.NumQueries(), len(pre.AssociatedQueries))
+	}
+	// Actual benefits must be positive for at least some applicable
+	// pairs (views save work), and zero for inapplicable pairs.
+	positives := 0
+	for ai, qi := range p.AssocQueries {
+		applicable := map[int]bool{}
+		for j, c := range p.Candidates {
+			for _, q := range c.Queries {
+				if q == qi {
+					applicable[j] = true
+				}
+			}
+		}
+		for j, b := range p.Instance.Benefit[ai] {
+			if !applicable[j] && b != 0 {
+				t.Fatalf("inapplicable pair (%d,%d) has benefit %v", qi, j, b)
+			}
+			if b > 0 {
+				positives++
+			}
+		}
+	}
+	if positives == 0 {
+		t.Error("no positive benefits measured")
+	}
+	// Overheads are positive.
+	for j, o := range p.Instance.Overhead {
+		if o <= 0 {
+			t.Errorf("candidate %d overhead %v", j, o)
+		}
+	}
+	// Metadata database collected the measurements.
+	nc, _ := a.Meta.Counts()
+	if nc == 0 {
+		t.Error("no cost records persisted")
+	}
+}
+
+func TestSelectAllMethodsFeasible(t *testing.T) {
+	w := smallWK()
+	a := newAdvisor(t, w, fastConfig())
+	pre := a.Preprocess(w.Plans())
+	p, err := a.BuildProblem(w.Plans(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sk := range []SelectorKind{
+		SelectorRLView, SelectorBigSub, SelectorIterView,
+		SelectorTopkFreq, SelectorTopkOver, SelectorTopkBen, SelectorTopkNorm,
+	} {
+		a.Cfg.Selector = sk
+		sel := a.Select(p)
+		if sel.Method == "" || len(sel.Z) != p.Instance.NumViews() {
+			t.Errorf("%v: malformed selection %+v", sk, sel)
+		}
+		if math.IsNaN(sel.Utility) {
+			t.Errorf("%v: NaN utility", sk)
+		}
+		// Utility must agree with re-evaluating Z on the instance.
+		if got := p.Instance.UtilityOfZ(sel.Z); got < sel.Utility-1e-6 {
+			t.Errorf("%v: reported utility %v exceeds achievable %v", sk, sel.Utility, got)
+		}
+	}
+}
+
+func TestEndToEndActualRLView(t *testing.T) {
+	w := smallWK()
+	cfg := fastConfig()
+	a := newAdvisor(t, w, cfg)
+	rep, err := a.Run(w.Plans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumQueries != 60 {
+		t.Errorf("NumQueries = %d", rep.NumQueries)
+	}
+	if rep.RawCost <= 0 {
+		t.Error("raw cost not measured")
+	}
+	if rep.NumViews == 0 {
+		t.Error("no views selected on a sharing-heavy workload")
+	}
+	if rep.RewrittenQueries == 0 {
+		t.Error("no queries rewritten")
+	}
+	if rep.RewriteBenefit <= 0 {
+		t.Errorf("rewrite benefit = %v, want positive", rep.RewriteBenefit)
+	}
+	if rep.SavedRatio <= 0 {
+		t.Errorf("saved ratio = %v, want positive", rep.SavedRatio)
+	}
+	if rep.RewrittenCost >= rep.RawCost {
+		t.Errorf("rewritten cost %v should undercut raw %v", rep.RewrittenCost, rep.RawCost)
+	}
+}
+
+func TestEndToEndWideDeep(t *testing.T) {
+	w := smallWK()
+	cfg := fastConfig()
+	cfg.Estimator = EstimatorWideDeep
+	cfg.WDTrain.Epochs = 4
+	cfg.WDTrain.BatchSize = 16
+	a := newAdvisor(t, w, cfg)
+	rep, err := a.Run(w.Plans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Estimator != "W-D" {
+		t.Errorf("estimator label = %s", rep.Estimator)
+	}
+	if rep.SavedRatio <= 0 {
+		t.Errorf("W-D pipeline saved ratio = %v, want positive", rep.SavedRatio)
+	}
+}
+
+func TestEndToEndOptimizerEstimator(t *testing.T) {
+	w := smallWK()
+	cfg := fastConfig()
+	cfg.Estimator = EstimatorOptimizer
+	a := newAdvisor(t, w, cfg)
+	rep, err := a.Run(w.Plans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Estimator != "Optimizer" {
+		t.Errorf("estimator label = %s", rep.Estimator)
+	}
+	// The analytic estimator is noisier but the pipeline must still
+	// produce a coherent report.
+	if rep.NumViews == 0 || rep.RewrittenQueries == 0 {
+		t.Errorf("optimizer pipeline selected nothing: %+v", rep)
+	}
+}
+
+func TestRunNoCandidates(t *testing.T) {
+	// A workload with no sharing yields an empty, non-failing report.
+	w := workload.WK(workload.WKParams{
+		Name: "lonely", Projects: 2, FactsPerProject: 1, DimsPerProject: 1,
+		Queries: 2, FragsPerProject: 1, Skew: 1, Seed: 5,
+	})
+	// Keep only one query per project to remove sharing.
+	w.Queries = w.Queries[:1]
+	a := newAdvisor(t, w, fastConfig())
+	rep, err := a.Run(w.Plans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumViews != 0 || rep.SavedRatio != 0 {
+		t.Errorf("expected empty report, got %+v", rep)
+	}
+}
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Pricing.Alpha != 1.67e-5 || cfg.Pricing.Beta != 1e-1 || cfg.Pricing.Gamma != 1e-3 {
+		t.Error("pricing constants deviate from Table II")
+	}
+	if cfg.WDTrain.Epochs != 50 || cfg.WDTrain.LearnRate != 0.01 || cfg.WDTrain.BatchSize != 8 {
+		t.Error("JOB training defaults deviate from Table II")
+	}
+	if cfg.RL.InitIterations != 10 || cfg.RL.Epochs != 90 || cfg.RL.MemoryThreshold != 20 {
+		t.Error("RL defaults deviate from Table II (n1=10, n2=90, nm=20)")
+	}
+	if cfg.RL.Agent.Gamma != 0.9 {
+		t.Error("reward decay deviates from Table II (γ=0.9)")
+	}
+	wk := WKConfig()
+	if wk.WDTrain.Epochs != 20 || wk.WDTrain.LearnRate != 0.005 || wk.WDTrain.BatchSize != 128 {
+		t.Error("WK training defaults deviate from Table II")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Estimator: "W-D", Selector: "RLView", NumQueries: 3, SavedRatio: 12.02}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestEveryCandidateRewritesItsQueries(t *testing.T) {
+	// Integration invariant: a candidate's Queries list promises that a
+	// view built on it can rewrite each of those queries. If matching
+	// (normalized fingerprints) and clustering (equivalence classes)
+	// ever diverge, benefits silently vanish — this pins them together.
+	w := smallWK()
+	a := newAdvisor(t, w, fastConfig())
+	pre := a.Preprocess(w.Plans())
+	p, err := a.BuildProblem(w.Plans(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, cand := range p.Candidates {
+		for _, qi := range cand.Queries {
+			_, n := rewriteWith(p, qi, j)
+			if n == 0 {
+				t.Fatalf("candidate %d (view %s) cannot rewrite query %d despite sharing its cluster",
+					j, cand.View.ID, qi)
+			}
+		}
+	}
+}
+
+func rewriteWith(p *Problem, qi, j int) (*plan.Node, int) {
+	return rewrite.Rewrite(p.Queries[qi], []*rewrite.View{p.Candidates[j].View})
+}
+
+func TestRewriteMatchesEquivalentSpelling(t *testing.T) {
+	// A query spelling the subquery differently (stacked filter over a
+	// derived table) must still be rewritten by the view built on the
+	// flat form.
+	w := smallWK()
+	a := newAdvisor(t, w, fastConfig())
+	cat := w.Cat
+	fact := cat.Tables()[1].Name // a fact table
+	flat, err := plan.Parse(
+		"select key, val from "+fact+" where cat = 1 and dt = 'v2'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked, err := plan.Parse(
+		"select s.attr, count(*) as n from ( select u.key, u.val from ( select key, val, dt from "+fact+" where cat = 1 ) u where u.dt = 'v2' ) v inner join ( select id, attr from "+cat.Tables()[0].Name+" where grp = 3 ) s on v.key = s.id group by s.attr", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Mgr.Materialize(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n := rewrite.Rewrite(stacked, []*rewrite.View{v})
+	if n != 1 {
+		t.Fatalf("equivalent spelling not rewritten (%d replacements)", n)
+	}
+}
+
+func TestRLViewPersistsAndReusesExperiences(t *testing.T) {
+	w := smallWK()
+	cfg := fastConfig()
+	cfg.Selector = SelectorRLView
+	a := newAdvisor(t, w, cfg)
+	pre := a.Preprocess(w.Plans())
+	p, err := a.BuildProblem(w.Plans(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Select(p)
+	_, ne := a.Meta.Counts()
+	if ne == 0 {
+		t.Fatal("RLView did not persist its replay pool to the metadata database")
+	}
+	// A second selection with pretraining enabled consumes the pool.
+	a.Cfg.RLPretrainUpdates = 50
+	sel := a.Select(p)
+	if sel.Method != "RLView" || len(sel.Z) != p.Instance.NumViews() {
+		t.Fatalf("pretrained selection malformed: %+v", sel)
+	}
+	if !p.Instance.Feasible(&mvs.State{Z: sel.Z, Y: mustBestY(p, sel.Z)}) {
+		t.Error("pretrained selection infeasible")
+	}
+}
+
+func mustBestY(p *Problem, z []bool) [][]bool {
+	y, _ := p.Instance.BestY(z)
+	return y
+}
+
+func TestApplyPrefersOutermostView(t *testing.T) {
+	// When both a join view and its contained fragment view are
+	// selected, Apply must rewrite with the join view (outermost match)
+	// and still produce a coherent report.
+	w := smallWK()
+	a := newAdvisor(t, w, fastConfig())
+	pre := a.Preprocess(w.Plans())
+	p, err := a.BuildProblem(w.Plans(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an overlapping pair (join candidate ⊃ fragment candidate).
+	var jv, fv = -1, -1
+	for x := range p.Candidates {
+		for y := range p.Candidates {
+			if x != y && p.Instance.Overlap[x][y] &&
+				p.Candidates[x].Plan.Count() > p.Candidates[y].Plan.Count() {
+				jv, fv = x, y
+			}
+		}
+	}
+	if jv < 0 {
+		t.Skip("workload has no overlapping candidate pair")
+	}
+	z := make([]bool, p.Instance.NumViews())
+	z[jv], z[fv] = true, true
+	rep, err := a.Apply(p, &Selection{Method: "manual", Z: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumViews != 2 {
+		t.Errorf("NumViews = %d, want 2", rep.NumViews)
+	}
+	if rep.RewrittenQueries == 0 {
+		t.Error("no queries rewritten with the overlapping pair")
+	}
+}
+
+func TestFitProgressCallback(t *testing.T) {
+	w := smallWK()
+	cfg := fastConfig()
+	cfg.Estimator = EstimatorWideDeep
+	epochs := 0
+	cfg.WDTrain.Epochs = 3
+	cfg.WDTrain.Progress = func(epoch int, loss float64) {
+		epochs++
+		if math.IsNaN(loss) {
+			t.Errorf("epoch %d: NaN loss", epoch)
+		}
+	}
+	a := newAdvisor(t, w, cfg)
+	if _, err := a.Run(w.Plans()); err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 3 {
+		t.Errorf("progress callback fired %d times, want 3", epochs)
+	}
+}

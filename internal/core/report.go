@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"autoview/internal/metrics"
+	"autoview/internal/plan"
+	"autoview/internal/rewrite"
+)
+
+// Report is the end-to-end outcome in Table V's terms.
+type Report struct {
+	Estimator string
+	Selector  string
+
+	// Raw workload.
+	NumQueries int     // #q
+	RawCost    float64 // c_q ($)
+	RawLatency float64 // l_q: single-core CPU minutes as the latency proxy
+
+	// Materialized views.
+	NumViews     int     // #m
+	ViewOverhead float64 // o_m ($): build + storage of the selected views
+
+	// Rewritten workload.
+	RewrittenQueries int     // #(q|v): queries that used at least one view
+	RewriteBenefit   float64 // b_{q|v} ($): Σ (A(q) − A(q|v)) measured
+	RewrittenLatency float64 // l_q of the rewritten workload
+	RewrittenCost    float64 // total measured cost of the rewritten workload
+
+	// SavedRatio is r_c = (b_{q|v} − o_m)/c_q ·100%.
+	SavedRatio float64
+
+	// Selection carries the selection stage's result.
+	Selection *Selection
+}
+
+// String renders one Table V style row.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s+%s: #q=%d cq=$%.4f | #m=%d om=$%.4f | #(q|v)=%d bq|v=$%.4f | rc=%.2f%%",
+		r.Estimator, r.Selector, r.NumQueries, r.RawCost,
+		r.NumViews, r.ViewOverhead, r.RewrittenQueries, r.RewriteBenefit, r.SavedRatio)
+}
+
+// Apply takes a selection, rewrites the full workload with the selected
+// views, executes it, and reports actual end-to-end savings.
+func (a *Advisor) Apply(p *Problem, sel *Selection) (*Report, error) {
+	pricing := a.Cfg.Pricing
+	rep := &Report{
+		Estimator:  a.Cfg.Estimator.String(),
+		Selector:   sel.Method,
+		NumQueries: len(p.Queries),
+		Selection:  sel,
+	}
+
+	// Raw workload cost and latency (measured once in BuildProblem; the
+	// latency proxy is re-derived from CPU usage).
+	for i, q := range p.Queries {
+		rep.RawCost += p.QueryCost[i]
+		u, err := a.Exec.Cost(q)
+		if err != nil {
+			return nil, err
+		}
+		rep.RawLatency += u.CPUMinutes(pricing)
+	}
+
+	// Selected views, with overheads measured on the real builds.
+	var selected []*rewrite.View
+	for j, z := range sel.Z {
+		if !z {
+			continue
+		}
+		v := p.Candidates[j].View
+		selected = append(selected, v)
+		rep.NumViews++
+		rep.ViewOverhead += v.Overhead(pricing)
+	}
+
+	// Per query: solve the per-query view choice under the overlap
+	// constraint (Y-Opt against measured benefits is approximated by
+	// rewriting with all selected views; Rewrite applies outermost
+	// occurrences first, which is exactly the non-overlapping maximal
+	// choice for tree-shaped overlaps).
+	for i, q := range p.Queries {
+		rw, n := rewrite.Rewrite(q, orderOutermost(selected, q))
+		u, err := a.Exec.Cost(rw)
+		if err != nil {
+			return nil, err
+		}
+		cost := u.Cost(pricing)
+		rep.RewrittenCost += cost
+		rep.RewrittenLatency += u.CPUMinutes(pricing)
+		if n > 0 {
+			rep.RewrittenQueries++
+			rep.RewriteBenefit += p.QueryCost[i] - cost
+		}
+	}
+	rep.SavedRatio = metrics.SavedCostRatio(rep.RewriteBenefit, rep.ViewOverhead, rep.RawCost)
+	return rep, nil
+}
+
+// orderOutermost sorts views so that ones matching higher (closer to the
+// root) in q's plan are applied first; rewriting is then greedy-outermost,
+// which maximizes per-view coverage for nested matches.
+func orderOutermost(views []*rewrite.View, q *plan.Node) []*rewrite.View {
+	depth := func(v *rewrite.View) int {
+		best := 1 << 30
+		var walk func(n *plan.Node, d int)
+		walk = func(n *plan.Node, d int) {
+			if n.Op != plan.OpScan && plan.NormalizedFingerprint(n) == v.Fingerprint {
+				if d < best {
+					best = d
+				}
+				return
+			}
+			for _, c := range n.Children {
+				walk(c, d+1)
+			}
+		}
+		walk(q, 0)
+		return best
+	}
+	out := append([]*rewrite.View(nil), views...)
+	// Insertion sort by match depth (few views; stability irrelevant).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && depth(out[j]) < depth(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Run executes the full pipeline: pre-process, estimate, select, apply.
+func (a *Advisor) Run(queries []*plan.Node) (*Report, error) {
+	pre := a.Preprocess(queries)
+	if len(pre.Candidates) == 0 {
+		return &Report{
+			Estimator:  a.Cfg.Estimator.String(),
+			Selector:   a.Cfg.Selector.String(),
+			NumQueries: len(queries),
+			Selection:  &Selection{Method: a.Cfg.Selector.String()},
+		}, nil
+	}
+	p, err := a.BuildProblem(queries, pre)
+	if err != nil {
+		return nil, err
+	}
+	sel := a.Select(p)
+	return a.Apply(p, sel)
+}

@@ -1,0 +1,252 @@
+// Package costbase implements the cost-estimation baselines of Section VI:
+//
+//   - Optimizer: the traditional approach — estimate A(q|v) as
+//     A(q) − A(s) + A(v_scan) with each term coming from a classical
+//     selectivity-based cost model over catalog statistics.
+//   - DeepLearn: the same decomposition, but with the plan costs predicted
+//     by a learned single-plan neural estimator (the paper's [36]).
+//   - LR: linear regression over numeric + plan-summary features.
+//   - GBM: gradient-boosted regression trees over the same features.
+package costbase
+
+import (
+	"math"
+
+	"autoview/internal/catalog"
+	"autoview/internal/engine"
+	"autoview/internal/plan"
+)
+
+// PlanEstimate is the analytic cost model's output for one plan.
+type PlanEstimate struct {
+	Rows   float64
+	Bytes  float64 // output bytes
+	CPUOps float64
+	Peak   float64 // peak held bytes
+}
+
+// Usage converts the estimate into an engine.Usage for pricing.
+func (e PlanEstimate) Usage() engine.Usage {
+	return engine.Usage{
+		CPUOps:    int64(e.CPUOps),
+		PeakBytes: int64(e.Peak),
+		OutRows:   int(e.Rows),
+		OutBytes:  int64(e.Bytes),
+	}
+}
+
+// colStat tracks per-column distinct-count estimates through operators.
+type colStat struct{ distinct float64 }
+
+// EstimatePlan runs the classical cost model: selectivity estimation with
+// uniformity and independence assumptions (the usual optimizer error
+// sources), with CPU/memory accounting mirroring the executor's weights.
+func EstimatePlan(n *plan.Node, cat *catalog.Catalog) PlanEstimate {
+	rows, stats, est := estimate(n, cat)
+	est.Rows = rows
+	est.Bytes = rows * rowWidth(n.Schema)
+	_ = stats
+	return est
+}
+
+func rowWidth(schema []plan.ColInfo) float64 {
+	var w float64
+	for _, c := range schema {
+		w += float64(c.Type.ByteWidth())
+	}
+	return w
+}
+
+func estimate(n *plan.Node, cat *catalog.Catalog) (float64, []colStat, PlanEstimate) {
+	switch n.Op {
+	case plan.OpScan:
+		t, ok := cat.Table(n.Table)
+		width := rowWidth(n.Schema)
+		weight := width / 8
+		if weight < 1 {
+			weight = 1
+		}
+		if !ok {
+			// Unknown table (e.g. a view): assume a small scan.
+			stats := make([]colStat, len(n.Schema))
+			for i := range stats {
+				stats[i] = colStat{distinct: 100}
+			}
+			return 1000, stats, PlanEstimate{CPUOps: 1000 * weight, Peak: 1000 * width}
+		}
+		rows := float64(t.Stats.Rows)
+		stats := make([]colStat, len(n.Schema))
+		for i, col := range t.Columns {
+			d := float64(col.Distinct)
+			if d <= 0 {
+				d = rows
+			}
+			stats[i] = colStat{distinct: d}
+		}
+		return rows, stats, PlanEstimate{CPUOps: rows * weight, Peak: rows * width}
+
+	case plan.OpFilter:
+		inRows, stats, est := estimate(n.Child(0), cat)
+		sel, ncmp := selectivity(n.Pred, stats)
+		rows := inRows * sel
+		est.CPUOps += inRows * float64(ncmp)
+		out := make([]colStat, len(stats))
+		for i, s := range stats {
+			out[i] = colStat{distinct: math.Min(s.distinct, math.Max(rows, 1))}
+		}
+		peak := rows * rowWidth(n.Schema)
+		if peak > est.Peak {
+			est.Peak = peak
+		}
+		return rows, out, est
+
+	case plan.OpProject:
+		inRows, stats, est := estimate(n.Child(0), cat)
+		est.CPUOps += inRows
+		out := make([]colStat, len(n.Proj))
+		for i, pc := range n.Proj {
+			out[i] = stats[pc.Src]
+		}
+		return inRows, out, est
+
+	case plan.OpJoin:
+		lRows, lStats, lEst := estimate(n.Child(0), cat)
+		rRows, rStats, rEst := estimate(n.Child(1), cat)
+		sel := 1.0
+		for _, je := range n.JoinCond {
+			d := math.Max(lStats[je.Left].distinct, rStats[je.Right].distinct)
+			if d > 0 {
+				sel /= d
+			}
+		}
+		rows := lRows * rRows * sel
+		if n.JoinType == plan.LeftJoin && rows < lRows {
+			rows = lRows
+		}
+		est := PlanEstimate{
+			CPUOps: lEst.CPUOps + rEst.CPUOps + 2*(lRows+rRows) + rows,
+		}
+		htBytes := rRows * (rowWidth(n.Child(1).Schema) + 16)
+		est.Peak = math.Max(math.Max(lEst.Peak, rEst.Peak), htBytes+rows*rowWidth(n.Schema))
+		out := make([]colStat, 0, len(lStats)+len(rStats))
+		for _, s := range lStats {
+			out = append(out, colStat{distinct: math.Min(s.distinct, math.Max(rows, 1))})
+		}
+		for _, s := range rStats {
+			out = append(out, colStat{distinct: math.Min(s.distinct, math.Max(rows, 1))})
+		}
+		return rows, out, est
+
+	case plan.OpAggregate:
+		inRows, stats, est := estimate(n.Child(0), cat)
+		groups := 1.0
+		for _, g := range n.GroupBy {
+			groups *= stats[g].distinct
+		}
+		if len(n.GroupBy) == 0 {
+			groups = 1
+		}
+		rows := math.Min(groups, math.Max(inRows, 1))
+		est.CPUOps += inRows * float64(2+len(n.Aggs))
+		peak := rows * (rowWidth(n.Schema) + 48)
+		if peak > est.Peak {
+			est.Peak = peak
+		}
+		out := make([]colStat, len(n.Schema))
+		for i := range out {
+			out[i] = colStat{distinct: rows}
+		}
+		return rows, out, est
+	default:
+		return 1, nil, PlanEstimate{}
+	}
+}
+
+// selectivity estimates a predicate's selectivity and counts comparisons.
+func selectivity(p plan.Pred, stats []colStat) (float64, int) {
+	switch x := p.(type) {
+	case nil:
+		return 1, 0
+	case *plan.Cmp:
+		return cmpSelectivity(x, stats), 1
+	case *plan.Bool:
+		ls, ln := selectivity(x.L, stats)
+		rs, rn := selectivity(x.R, stats)
+		if x.Op == plan.BoolAnd {
+			return ls * rs, ln + rn
+		}
+		return ls + rs - ls*rs, ln + rn
+	default:
+		return 0.5, 1
+	}
+}
+
+func cmpSelectivity(c *plan.Cmp, stats []colStat) float64 {
+	d := 100.0
+	if c.L.IsCol && c.L.Col < len(stats) {
+		d = stats[c.L.Col].distinct
+	} else if c.R.IsCol && c.R.Col < len(stats) {
+		d = stats[c.R.Col].distinct
+	}
+	if d < 1 {
+		d = 1
+	}
+	switch c.Op {
+	case plan.CmpEq:
+		return 1 / d
+	case plan.CmpNe:
+		return 1 - 1/d
+	case plan.CmpLt, plan.CmpLe, plan.CmpGt, plan.CmpGe:
+		return 1.0 / 3
+	default:
+		return 0.5
+	}
+}
+
+// OptimizerEstimator is the traditional baseline: it never trains; it
+// estimates A(q|v) = A(q) − A(s) + A(scan(v)) with all three terms from
+// the analytic model.
+type OptimizerEstimator struct {
+	Cat     *catalog.Catalog
+	Pricing engine.Pricing
+}
+
+// Name implements Estimator.
+func (o *OptimizerEstimator) Name() string { return "Optimizer" }
+
+// Fit implements Estimator (no-op: the optimizer does not learn).
+func (o *OptimizerEstimator) Fit([]Sample) error { return nil }
+
+// Predict implements Estimator.
+func (o *OptimizerEstimator) Predict(s Sample) float64 {
+	return o.EstimateRewritten(s.Q, s.V)
+}
+
+// EstimateRewritten estimates A(q|v) analytically.
+func (o *OptimizerEstimator) EstimateRewritten(q, v *plan.Node) float64 {
+	qe := EstimatePlan(q, o.Cat)
+	ve := EstimatePlan(v, o.Cat)
+	scan := o.scanCost(ve)
+	cost := qe.Usage().Cost(o.Pricing) - ve.Usage().Cost(o.Pricing) + scan
+	if cost < 0 {
+		cost = scan
+	}
+	return cost
+}
+
+// scanCost prices scanning a materialized view with the estimated output
+// cardinality of its defining subquery.
+func (o *OptimizerEstimator) scanCost(ve PlanEstimate) float64 {
+	return ViewScanEstimate(ve).Usage().Cost(o.Pricing)
+}
+
+// ViewScanEstimate models scanning a materialized view of the given
+// estimated size (bytes-proportional, mirroring the executor's scan
+// weight).
+func ViewScanEstimate(ve PlanEstimate) PlanEstimate {
+	ops := ve.Bytes / 8
+	if ops < ve.Rows {
+		ops = ve.Rows
+	}
+	return PlanEstimate{Rows: ve.Rows, Bytes: ve.Bytes, CPUOps: ops, Peak: ve.Bytes}
+}

@@ -1,0 +1,292 @@
+package costbase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autoview/internal/catalog"
+	"autoview/internal/engine"
+	"autoview/internal/featenc"
+	"autoview/internal/plan"
+	"autoview/internal/rewrite"
+	"autoview/internal/storage"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, tb := range []*catalog.Table{
+		{
+			Name: "user_memo",
+			Columns: []catalog.Column{
+				{Name: "user_id", Type: catalog.TypeInt, Distinct: 40},
+				{Name: "memo", Type: catalog.TypeString, Distinct: 20},
+				{Name: "memo_type", Type: catalog.TypeString, Distinct: 4},
+				{Name: "dt", Type: catalog.TypeString, Distinct: 5},
+			},
+			Stats: catalog.TableStats{Rows: 600},
+		},
+		{
+			Name: "user_action",
+			Columns: []catalog.Column{
+				{Name: "user_id", Type: catalog.TypeInt, Distinct: 40},
+				{Name: "action", Type: catalog.TypeString, Distinct: 10},
+				{Name: "type", Type: catalog.TypeInt, Distinct: 3},
+				{Name: "dt", Type: catalog.TypeString, Distinct: 5},
+			},
+			Stats: catalog.TableStats{Rows: 900},
+		},
+	} {
+		if err := cat.Add(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// buildSamples measures real (q, v, A(q|v)) triples on the toy engine.
+func buildSamples(t *testing.T, cat *catalog.Catalog, n int) []Sample {
+	t.Helper()
+	st := storage.Populate(cat, rand.New(rand.NewSource(21)))
+	exec := engine.New(st)
+	mgr := rewrite.NewManager(st)
+	p := engine.DefaultPricing()
+	rng := rand.New(rand.NewSource(22))
+
+	dts := []string{"v0", "v1", "v2", "v3", "v4"}
+	var out []Sample
+	for len(out) < n {
+		dt := dts[rng.Intn(len(dts))]
+		typ := rng.Intn(3)
+		sql := `select t1.user_id, count(*) as cnt
+		 from ( select user_id, memo from user_memo where dt='` + dt + `' and memo_type = 'v1' ) t1
+		 inner join ( select user_id, action from user_action where type = ` + string(rune('0'+typ)) + ` and dt='` + dt + `' ) t2
+		 on t1.user_id = t2.user_id group by t1.user_id`
+		q, err := plan.Parse(sql, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs := plan.ExtractSubqueries(q)
+		sub := subs[rng.Intn(len(subs))]
+		v, err := mgr.Materialize(sub.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qUsage, err := exec.Cost(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, _ := rewrite.Rewrite(q, []*rewrite.View{v})
+		rwUsage, err := exec.Cost(rw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vUsage, err := exec.Cost(sub.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Sample{
+			Q:      q,
+			V:      sub.Root,
+			F:      featenc.Extract(q, sub.Root, cat),
+			Actual: rwUsage.Cost(p) * 1e6, // scale to O(1) magnitudes
+			QCost:  qUsage.Cost(p) * 1e6,
+			VCost:  vUsage.Cost(p) * 1e6,
+		})
+	}
+	return out
+}
+
+func mae(t *testing.T, e Estimator, samples []Sample) float64 {
+	t.Helper()
+	var sum float64
+	for _, s := range samples {
+		sum += math.Abs(e.Predict(s) - s.Actual)
+	}
+	return sum / float64(len(samples))
+}
+
+func TestTabularFeaturesShape(t *testing.T) {
+	cat := testCatalog(t)
+	samples := buildSamples(t, cat, 1)
+	x := TabularFeatures(samples[0].F)
+	if len(x) != TabularDim {
+		t.Fatalf("tabular dim %d, want %d", len(x), TabularDim)
+	}
+	// Query plan has 8 operators: 2 scans, 2 filters, 2 projects, 1 join,
+	// 1 aggregate.
+	offset := featenc.NumericDim
+	wantQ := []float64{2, 2, 2, 1, 1}
+	for i, w := range wantQ {
+		if x[offset+i] != w {
+			t.Errorf("query op count %d = %v, want %v", i, x[offset+i], w)
+		}
+	}
+}
+
+func TestLinearRegressorFitsLinearTarget(t *testing.T) {
+	cat := testCatalog(t)
+	samples := buildSamples(t, cat, 40)
+	// Replace targets with an exactly linear function of the features.
+	for i := range samples {
+		x := TabularFeatures(samples[i].F)
+		samples[i].Actual = 3*x[0] - 2*x[5] + 7
+	}
+	lr := &LinearRegressor{}
+	if err := lr.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	if got := mae(t, lr, samples); got > 1e-6 {
+		t.Errorf("LR MAE on linear target = %v, want ~0", got)
+	}
+}
+
+func TestLinearRegressorErrors(t *testing.T) {
+	lr := &LinearRegressor{}
+	if err := lr.Fit(nil); err == nil {
+		t.Error("Fit on empty data should error")
+	}
+	if lr.Predict(Sample{F: featenc.Features{Numeric: make([]float64, featenc.NumericDim)}}) != 0 {
+		t.Error("unfitted Predict should return 0")
+	}
+}
+
+func TestGBMFitsNonlinearTarget(t *testing.T) {
+	cat := testCatalog(t)
+	samples := buildSamples(t, cat, 60)
+	for i := range samples {
+		x := TabularFeatures(samples[i].F)
+		// Step function of the numeric features: trees should nail it.
+		if x[2] > 5.5 {
+			samples[i].Actual = 10
+		} else {
+			samples[i].Actual = 2
+		}
+		samples[i].Actual += 0.5 * x[featenc.NumericDim] // mild linear term
+	}
+	g := &GBM{Rounds: 60, Depth: 3}
+	if err := g.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	if got := mae(t, g, samples); got > 1.0 {
+		t.Errorf("GBM train MAE = %v, want < 1.0", got)
+	}
+}
+
+func TestGBMBeatsConstantBaseline(t *testing.T) {
+	cat := testCatalog(t)
+	samples := buildSamples(t, cat, 60)
+	g := &GBM{Rounds: 80, Depth: 3}
+	if err := g.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	var meanY float64
+	for _, s := range samples {
+		meanY += s.Actual
+	}
+	meanY /= float64(len(samples))
+	var constMAE float64
+	for _, s := range samples {
+		constMAE += math.Abs(s.Actual - meanY)
+	}
+	constMAE /= float64(len(samples))
+	if got := mae(t, g, samples); got >= constMAE {
+		t.Errorf("GBM MAE %v should beat constant predictor %v", got, constMAE)
+	}
+}
+
+func TestOptimizerEstimatorDirections(t *testing.T) {
+	cat := testCatalog(t)
+	samples := buildSamples(t, cat, 10)
+	opt := &OptimizerEstimator{Cat: cat, Pricing: engine.DefaultPricing()}
+	if err := opt.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		y := opt.Predict(s)
+		if y <= 0 || math.IsNaN(y) {
+			t.Errorf("Optimizer estimate = %v, want positive", y)
+		}
+	}
+}
+
+func TestEstimatePlanCardinalities(t *testing.T) {
+	cat := testCatalog(t)
+	// Equality filter on dt (5 distinct) over 600 rows -> about 120.
+	q, err := plan.Parse("select user_id from user_memo where dt='v1'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimatePlan(q, cat)
+	if math.Abs(est.Rows-120) > 1 {
+		t.Errorf("estimated rows = %v, want 120", est.Rows)
+	}
+	if est.CPUOps <= 0 || est.Bytes <= 0 {
+		t.Errorf("estimate incomplete: %+v", est)
+	}
+	// Join cardinality: |L|*|R|/max(d).
+	j, err := plan.Parse("select user_memo.memo from user_memo inner join user_action on user_memo.user_id = user_action.user_id", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	je := EstimatePlan(j.Child(0), cat)
+	want := 600.0 * 900 / 40
+	if math.Abs(je.Rows-want) > 1 {
+		t.Errorf("join rows = %v, want %v", je.Rows, want)
+	}
+}
+
+func TestEstimatePlanUnknownTable(t *testing.T) {
+	cat := testCatalog(t)
+	n := &plan.Node{Op: plan.OpScan, Table: "mv_1", Schema: []plan.ColInfo{{Name: "a", Type: catalog.TypeInt}}}
+	est := EstimatePlan(n, cat)
+	if est.Rows <= 0 {
+		t.Error("unknown table should fall back to a default estimate")
+	}
+}
+
+func TestDeepLearnTrainsAndPredicts(t *testing.T) {
+	cat := testCatalog(t)
+	samples := buildSamples(t, cat, 30)
+	dl := &DeepLearn{Cat: cat, Pricing: engine.DefaultPricing(), Epochs: 8, Seed: 7}
+	if err := dl.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples[:5] {
+		y := dl.Predict(s)
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			t.Fatalf("DeepLearn prediction = %v", y)
+		}
+	}
+	// DeepLearn must beat the pure-analytic Optimizer on training data
+	// (it learned the plan costs the optimizer only estimates).
+	opt := &OptimizerEstimator{Cat: cat, Pricing: engine.DefaultPricing()}
+	dlMAE := mae(t, dl, samples)
+	optMAE := mae(t, opt, samples)
+	if dlMAE >= optMAE {
+		t.Errorf("DeepLearn MAE %v should beat Optimizer %v", dlMAE, optMAE)
+	}
+}
+
+func TestDeepLearnEmptyFit(t *testing.T) {
+	dl := &DeepLearn{Cat: testCatalog(t), Pricing: engine.DefaultPricing()}
+	if err := dl.Fit(nil); err == nil {
+		t.Error("empty fit should error")
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+	if _, err := solveLinearSystem([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Error("singular system should error")
+	}
+}

@@ -1,0 +1,195 @@
+package costbase
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GBM is the gradient-boosted-trees baseline (the paper uses XGBoost):
+// least-squares boosting of depth-limited regression trees with shrinkage.
+type GBM struct {
+	Rounds    int     // number of trees, default 100
+	Depth     int     // maximum tree depth, default 3
+	Shrinkage float64 // learning rate, default 0.1
+	MinLeaf   int     // minimum samples per leaf, default 2
+
+	base  float64
+	trees []*treeNode
+}
+
+// Name implements Estimator.
+func (g *GBM) Name() string { return "GBM" }
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	value     float64 // leaf prediction
+	left      *treeNode
+	right     *treeNode
+}
+
+func (t *treeNode) isLeaf() bool { return t.left == nil }
+
+func (t *treeNode) predict(x []float64) float64 {
+	for !t.isLeaf() {
+		if x[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+// Fit implements Estimator.
+func (g *GBM) Fit(train []Sample) error {
+	if len(train) == 0 {
+		return fmt.Errorf("costbase: GBM needs training data")
+	}
+	if g.Rounds <= 0 {
+		g.Rounds = 100
+	}
+	if g.Depth <= 0 {
+		g.Depth = 3
+	}
+	if g.Shrinkage <= 0 {
+		g.Shrinkage = 0.1
+	}
+	if g.MinLeaf <= 0 {
+		g.MinLeaf = 2
+	}
+	xs := make([][]float64, len(train))
+	for i, s := range train {
+		xs[i] = TabularFeatures(s.F)
+	}
+	// Base prediction: the mean.
+	g.base = 0
+	for _, s := range train {
+		g.base += s.Actual
+	}
+	g.base /= float64(len(train))
+
+	residual := make([]float64, len(train))
+	pred := make([]float64, len(train))
+	for i := range pred {
+		pred[i] = g.base
+	}
+	g.trees = g.trees[:0]
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	for round := 0; round < g.Rounds; round++ {
+		for i, s := range train {
+			residual[i] = s.Actual - pred[i]
+		}
+		tree := g.buildTree(xs, residual, idx, g.Depth)
+		g.trees = append(g.trees, tree)
+		for i := range pred {
+			pred[i] += g.Shrinkage * tree.predict(xs[i])
+		}
+	}
+	return nil
+}
+
+// buildTree grows one regression tree on the residuals by variance
+// reduction.
+func (g *GBM) buildTree(xs [][]float64, target []float64, idx []int, depth int) *treeNode {
+	leaf := &treeNode{value: mean(target, idx)}
+	if depth == 0 || len(idx) < 2*g.MinLeaf {
+		return leaf
+	}
+	bestGain := 0.0
+	bestFeature, bestThreshold := -1, 0.0
+	total := sse(target, idx)
+	nf := len(xs[idx[0]])
+	sorted := make([]int, len(idx))
+	for f := 0; f < nf; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return xs[sorted[a]][f] < xs[sorted[b]][f] })
+		// Prefix sums for O(n) split evaluation.
+		var lSum, lSq float64
+		var rSum, rSq float64
+		for _, i := range sorted {
+			rSum += target[i]
+			rSq += target[i] * target[i]
+		}
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			i := sorted[pos]
+			lSum += target[i]
+			lSq += target[i] * target[i]
+			rSum -= target[i]
+			rSq -= target[i] * target[i]
+			nl, nr := float64(pos+1), float64(len(sorted)-pos-1)
+			if int(nl) < g.MinLeaf || int(nr) < g.MinLeaf {
+				continue
+			}
+			// Skip ties: can't split between equal feature values.
+			if xs[i][f] == xs[sorted[pos+1]][f] {
+				continue
+			}
+			lossAfter := (lSq - lSum*lSum/nl) + (rSq - rSum*rSum/nr)
+			gain := total - lossAfter
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (xs[i][f] + xs[sorted[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return leaf
+	}
+	var lIdx, rIdx []int
+	for _, i := range idx {
+		if xs[i][bestFeature] <= bestThreshold {
+			lIdx = append(lIdx, i)
+		} else {
+			rIdx = append(rIdx, i)
+		}
+	}
+	if len(lIdx) == 0 || len(rIdx) == 0 {
+		return leaf
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      g.buildTree(xs, target, lIdx, depth-1),
+		right:     g.buildTree(xs, target, rIdx, depth-1),
+	}
+}
+
+func mean(target []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += target[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sse(target []float64, idx []int) float64 {
+	m := mean(target, idx)
+	var s float64
+	for _, i := range idx {
+		d := target[i] - m
+		s += d * d
+	}
+	return s
+}
+
+// Predict implements Estimator.
+func (g *GBM) Predict(s Sample) float64 {
+	x := TabularFeatures(s.F)
+	y := g.base
+	for _, t := range g.trees {
+		y += g.Shrinkage * t.predict(x)
+	}
+	if math.IsNaN(y) {
+		return g.base
+	}
+	return y
+}

@@ -1,0 +1,113 @@
+package costbase
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearRegressor is the LR baseline: a linear model over tabular features
+// fitted by ridge-regularized least squares (normal equations), measuring
+// loss with Euclidean distance as in the paper.
+type LinearRegressor struct {
+	// Ridge is the L2 regularization strength (default 1e-6 keeps the
+	// normal equations well conditioned).
+	Ridge float64
+
+	weights []float64 // last entry is the intercept
+}
+
+// Name implements Estimator.
+func (l *LinearRegressor) Name() string { return "LR" }
+
+// Fit implements Estimator.
+func (l *LinearRegressor) Fit(train []Sample) error {
+	if len(train) == 0 {
+		return fmt.Errorf("costbase: LR needs training data")
+	}
+	ridge := l.Ridge
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+	d := TabularDim + 1 // +intercept
+	// Normal equations: (XᵀX + λI) w = Xᵀy.
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+		ata[i][i] = ridge
+	}
+	atb := make([]float64, d)
+	row := make([]float64, d)
+	for _, s := range train {
+		x := TabularFeatures(s.F)
+		copy(row, x)
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * s.Actual
+		}
+	}
+	w, err := solveLinearSystem(ata, atb)
+	if err != nil {
+		return fmt.Errorf("costbase: LR fit: %w", err)
+	}
+	l.weights = w
+	return nil
+}
+
+// Predict implements Estimator.
+func (l *LinearRegressor) Predict(s Sample) float64 {
+	if l.weights == nil {
+		return 0
+	}
+	x := TabularFeatures(s.F)
+	y := l.weights[len(l.weights)-1]
+	for i, v := range x {
+		y += l.weights[i] * v
+	}
+	return y
+}
+
+// solveLinearSystem solves Ax=b by Gaussian elimination with partial
+// pivoting. A and b are modified.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

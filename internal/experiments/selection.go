@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"autoview/internal/core"
+	"autoview/internal/engine"
+	"autoview/internal/metrics"
+	"autoview/internal/mvs"
+	"autoview/internal/rl"
+	"autoview/internal/selbase"
+	"autoview/internal/workload"
+)
+
+// Fig9Result holds the top-k utility curves per workload and strategy.
+type Fig9Result struct {
+	Names  []string
+	Curves map[string]map[string][]float64
+}
+
+// Fig9 sweeps k for the four greedy methods on ground-truth benefit
+// instances (Figure 9: utility rises to a maximum, then falls as view
+// overheads dominate).
+func Fig9(s Scale) (*Fig9Result, error) {
+	res := &Fig9Result{Curves: map[string]map[string][]float64{}}
+	for _, w := range Workloads(s) {
+		_, p, err := groundTruthProblem(w, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Names = append(res.Names, w.Name)
+		curves := map[string][]float64{}
+		for _, strat := range selbase.Strategies() {
+			curves[strat.String()] = selbase.SweepK(p.Instance, p.Frequencies(), strat)
+		}
+		res.Curves[w.Name] = curves
+	}
+	return res, nil
+}
+
+// Render formats Figure 9 as sampled curve points.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: top-k utility curves (utility $ at sampled k)\n")
+	for _, name := range r.Names {
+		curves := r.Curves[name]
+		nv := len(curves["TopkFreq"]) - 1
+		fmt.Fprintf(&b, "  %s (|Z|=%d):\n", name, nv)
+		for _, strat := range selbase.Strategies() {
+			curve := curves[strat.String()]
+			fmt.Fprintf(&b, "    %-9s", strat)
+			for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				k := int(frac * float64(nv))
+				fmt.Fprintf(&b, " k=%-4d $%-9.4f", k, curve[k])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Tab4Row is one method's optimal result on one workload.
+type Tab4Row struct {
+	Method  string
+	K       int // best k (greedy) or best iteration (iterative)
+	Utility float64
+	Ratio   float64 // 100·U/ΣA(q)
+}
+
+// Tab4Result is Table IV.
+type Tab4Result struct {
+	Names []string
+	Rows  map[string][]Tab4Row
+	// OPT holds the exact optimum where the solver finished (JOB; the
+	// paper reports that solvers fail on WK1/WK2 and so do we by
+	// budget).
+	OPT map[string]*Tab4Row
+}
+
+// Tab4 compares the optimal results of all selection methods.
+func Tab4(s Scale) (*Tab4Result, error) {
+	res := &Tab4Result{Rows: map[string][]Tab4Row{}, OPT: map[string]*Tab4Row{}}
+	for _, w := range Workloads(s) {
+		_, p, err := groundTruthProblem(w, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Names = append(res.Names, w.Name)
+		total := p.TotalQueryCost()
+		cfg := configFor(w.Name, s)
+		freq := p.Frequencies()
+
+		for _, strat := range selbase.Strategies() {
+			k, u := selbase.BestK(p.Instance, freq, strat)
+			res.Rows[w.Name] = append(res.Rows[w.Name], Tab4Row{
+				Method: strat.String(), K: k, Utility: u,
+				Ratio: metrics.UtilityRatio(u, total),
+			})
+		}
+
+		iters := cfg.RL.InitIterations + cfg.RL.Epochs
+		bs := selbase.BigSub(p.Instance, selbase.BigSubOptions{
+			Iterations: iters,
+			Rand:       rand.New(rand.NewSource(5)),
+		})
+		res.Rows[w.Name] = append(res.Rows[w.Name], Tab4Row{
+			Method: "BigSub", K: bs.BestIteration, Utility: bs.BestUtility,
+			Ratio: metrics.UtilityRatio(bs.BestUtility, total),
+		})
+
+		rlOpts := cfg.RL
+		rlOpts.Rand = rand.New(rand.NewSource(6))
+		rv := rl.RLView(p.Instance, rlOpts)
+		res.Rows[w.Name] = append(res.Rows[w.Name], Tab4Row{
+			Method: "RLView", K: rv.Steps, Utility: rv.BestUtility,
+			Ratio: metrics.UtilityRatio(rv.BestUtility, total),
+		})
+
+		// Exact OPT via dominance + overlap-component decomposition
+		// (mvs.OptimalExact). The paper's Gurobi/PuLP runs finished
+		// only on JOB; the decomposition proves optimality on all
+		// three of our instances, so the OPT row is filled everywhere.
+		opt := mvs.OptimalExact(p.Instance, 2_000_000)
+		if opt.Optimal {
+			res.OPT[w.Name] = &Tab4Row{
+				Method: "OPT", Utility: opt.Utility,
+				Ratio: metrics.UtilityRatio(opt.Utility, total),
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats Table IV.
+func (r *Tab4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table IV: optimal results per view selection method\n")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "  %s:\n", name)
+		for _, row := range r.Rows[name] {
+			fmt.Fprintf(&b, "    %-9s k=%-5d utility=$%-10.4f ratio=%.2f%%\n",
+				row.Method, row.K, row.Utility, row.Ratio)
+		}
+		if opt, ok := r.OPT[name]; ok {
+			fmt.Fprintf(&b, "    %-9s %7s utility=$%-10.4f ratio=%.2f%%\n", "OPT", "", opt.Utility, opt.Ratio)
+		} else {
+			b.WriteString("    OPT       (solver did not finish within budget)\n")
+		}
+	}
+	return b.String()
+}
+
+// Fig10Result holds convergence traces.
+type Fig10Result struct {
+	Names []string
+	Iter  map[string][]float64
+	RL    map[string][]float64
+}
+
+// Fig10 compares IterView's oscillation against RLView's convergence on
+// the WK workloads (Figure 10). IterView runs n = n1+n2 iterations for a
+// fair budget, as in the paper.
+func Fig10(s Scale) (*Fig10Result, error) {
+	res := &Fig10Result{Iter: map[string][]float64{}, RL: map[string][]float64{}}
+	for _, w := range Workloads(s)[1:] { // WK1, WK2
+		_, p, err := groundTruthProblem(w, s)
+		if err != nil {
+			return nil, err
+		}
+		cfg := configFor(w.Name, s)
+		res.Names = append(res.Names, w.Name)
+		// The paper traces up to 1000 (WK1) / 500 (WK2) iterations; the
+		// oscillation events (small random thresholds flipping many
+		// labels at once) need a long horizon to show.
+		iters := cfg.RL.InitIterations + cfg.RL.Epochs
+		if iters < 300 {
+			iters = 300
+		}
+		iv := mvs.IterView(p.Instance, mvs.IterOptions{
+			Iterations: iters,
+			Rand:       rand.New(rand.NewSource(8)),
+		})
+		res.Iter[w.Name] = iv.Trace
+		rlOpts := cfg.RL
+		rlOpts.Rand = rand.New(rand.NewSource(8))
+		rv := rl.RLView(p.Instance, rlOpts)
+		res.RL[w.Name] = rv.Trace
+	}
+	return res, nil
+}
+
+// Stability summarizes a trace's tail: mean and standard deviation of the
+// last half.
+func Stability(trace []float64) (mean, std float64) {
+	n := len(trace) / 2
+	if n == 0 {
+		n = len(trace)
+	}
+	tail := trace[len(trace)-n:]
+	for _, v := range tail {
+		mean += v
+	}
+	mean /= float64(len(tail))
+	for _, v := range tail {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(tail)))
+	return mean, std
+}
+
+// Render formats Figure 10 as trace summaries plus sampled points.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: convergence (intermediate utility per iteration)\n")
+	for _, name := range r.Names {
+		iv, rv := r.Iter[name], r.RL[name]
+		ivMean, ivStd := Stability(iv)
+		rvMean, rvStd := Stability(rv)
+		fmt.Fprintf(&b, "  %s: IterView tail mean=$%.4f std=%.4f | RLView tail mean=$%.4f std=%.4f\n",
+			name, ivMean, ivStd, rvMean, rvStd)
+		fmt.Fprintf(&b, "    IterView samples: %s\n", sampleTrace(iv, 8))
+		fmt.Fprintf(&b, "    RLView samples:   %s\n", sampleTrace(rv, 8))
+	}
+	return b.String()
+}
+
+func sampleTrace(trace []float64, n int) string {
+	if len(trace) == 0 {
+		return "(empty)"
+	}
+	var parts []string
+	for i := 0; i < n; i++ {
+		idx := i * (len(trace) - 1) / (n - 1)
+		parts = append(parts, fmt.Sprintf("[%d]$%.3f", idx, trace[idx]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Tab5Combo names one estimator+selector configuration.
+type Tab5Combo struct {
+	Label     string
+	Estimator core.EstimatorKind
+	Selector  core.SelectorKind
+}
+
+// Tab5Combos lists the four end-to-end configurations of Table V.
+func Tab5Combos() []Tab5Combo {
+	return []Tab5Combo{
+		{"O&B", core.EstimatorOptimizer, core.SelectorBigSub},
+		{"O&R", core.EstimatorOptimizer, core.SelectorRLView},
+		{"W&B", core.EstimatorWideDeep, core.SelectorBigSub},
+		{"W&R", core.EstimatorWideDeep, core.SelectorRLView},
+	}
+}
+
+// Tab5Result is Table V plus the paper's headline improvements.
+type Tab5Result struct {
+	Datasets []string
+	Reports  map[string]map[string]*core.Report // dataset -> combo -> report
+	// Improvement is (rc(W&R) − rc(O&B)) / rc(O&B) ·100%, the paper's
+	// 28.4% / 8.8% / 31.7% numbers.
+	Improvement map[string]float64
+}
+
+// Tab5 runs the end-to-end comparison on JOB and on one sampled project
+// from each WK workload (the paper's P1 and P2).
+func Tab5(s Scale) (*Tab5Result, error) {
+	ws := Workloads(s)
+	// P1 and P2 sample the WK workloads per the paper ("we sample two
+	// projects ... because it is expensive to execute the whole query
+	// set"); our scaled projects are small, so each sample unions the
+	// largest few projects to keep enough sharing to differentiate the
+	// methods.
+	datasets := []*workload.Workload{
+		ws[0],
+		ws[1].ProjectUnion(ws[1].TopProjects(4)),
+		ws[2].ProjectUnion(ws[2].TopProjects(4)),
+	}
+	labels := []string{"JOB", "P1", "P2"}
+
+	res := &Tab5Result{
+		Reports:     map[string]map[string]*core.Report{},
+		Improvement: map[string]float64{},
+	}
+	for di, w := range datasets {
+		label := labels[di]
+		res.Datasets = append(res.Datasets, label)
+		res.Reports[label] = map[string]*core.Report{}
+		for _, combo := range Tab5Combos() {
+			cfg := configFor(baseName(w.Name), s)
+			cfg.Estimator = combo.Estimator
+			cfg.Selector = combo.Selector
+			// Fresh storage per combo: view tables must not leak
+			// between runs.
+			adv := core.NewAdvisor(w.Cat, engine.New(w.Populate()), cfg)
+			rep, err := adv.Run(w.Plans())
+			if err != nil {
+				return nil, fmt.Errorf("tab5 %s/%s: %w", label, combo.Label, err)
+			}
+			res.Reports[label][combo.Label] = rep
+		}
+		ob := res.Reports[label]["O&B"].SavedRatio
+		wr := res.Reports[label]["W&R"].SavedRatio
+		res.Improvement[label] = metrics.Improvement(wr, ob)
+	}
+	return res, nil
+}
+
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Render formats Table V.
+func (r *Tab5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table V: end-to-end results\n")
+	for _, ds := range r.Datasets {
+		reports := r.Reports[ds]
+		any := reports["O&B"]
+		fmt.Fprintf(&b, "  %s: #q=%d cq=$%.4f lq=%.4f core-min\n", ds, any.NumQueries, any.RawCost, any.RawLatency)
+		for _, combo := range Tab5Combos() {
+			rep := reports[combo.Label]
+			fmt.Fprintf(&b, "    %-4s #(q|v)=%-4d #m=%-3d om=$%-9.5f bq|v=$%-9.5f lq=%-9.4f rc=%.2f%%\n",
+				combo.Label, rep.RewrittenQueries, rep.NumViews, rep.ViewOverhead,
+				rep.RewriteBenefit, rep.RewrittenLatency, rep.SavedRatio)
+		}
+		fmt.Fprintf(&b, "    improvement (W&R vs O&B): %.1f%%\n", r.Improvement[ds])
+	}
+	return b.String()
+}

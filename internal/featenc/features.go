@@ -1,0 +1,128 @@
+package featenc
+
+import (
+	"math"
+
+	"autoview/internal/catalog"
+	"autoview/internal/plan"
+)
+
+// NumericDim is the fixed width of the numerical feature vector.
+const NumericDim = 8
+
+// Features is one extracted input of the cost model: the plans of the
+// query and the view, the schema keywords of the associated tables, and
+// the numerical statistics of those tables (Section IV-A).
+type Features struct {
+	QueryPlan [][]plan.Tok
+	ViewPlan  [][]plan.Tok
+	Schema    []string  // keyword set of associated tables
+	Numeric   []float64 // length NumericDim
+}
+
+// toks converts an OpSeq slice into a plain [][]Tok.
+func toks(seqs []plan.OpSeq) [][]plan.Tok {
+	out := make([][]plan.Tok, len(seqs))
+	for i, s := range seqs {
+		out[i] = []plan.Tok(s)
+	}
+	return out
+}
+
+// Extract gathers features for estimating A(q|v). Table statistics are
+// read from the catalog (the paper's metadata database); log scaling keeps
+// the magnitudes trainable before normalization.
+func Extract(q, v *plan.Node, cat *catalog.Catalog) Features {
+	f := Features{
+		QueryPlan: toks(plan.Serialize(q)),
+		ViewPlan:  toks(plan.Serialize(v)),
+	}
+	tables := map[string]bool{}
+	for _, t := range q.Tables() {
+		tables[t] = true
+	}
+	for _, t := range v.Tables() {
+		tables[t] = true
+	}
+	var numTables, numCols, totalRows, totalBytes, maxRows float64
+	for name := range tables {
+		t, ok := cat.Table(name)
+		if !ok {
+			continue
+		}
+		numTables++
+		numCols += float64(len(t.Columns))
+		totalRows += float64(t.Stats.Rows)
+		totalBytes += float64(t.Stats.Bytes)
+		if r := float64(t.Stats.Rows); r > maxRows {
+			maxRows = r
+		}
+		f.Schema = append(f.Schema, t.SchemaKeywords()...)
+	}
+	f.Numeric = []float64{
+		numTables,
+		numCols,
+		math.Log1p(totalRows),
+		math.Log1p(totalBytes),
+		math.Log1p(maxRows),
+		float64(q.Count()),
+		float64(v.Count()),
+		float64(len(f.QueryPlan) - len(f.ViewPlan)),
+	}
+	return f
+}
+
+// Normalizer standardizes numerical features to zero mean and unit
+// variance, the wide model's pre-processing step (Section IV-B1).
+type Normalizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitNormalizer estimates per-dimension statistics from a training set.
+// Dimensions with zero variance get Std 1 so they normalize to 0.
+func FitNormalizer(rows [][]float64) *Normalizer {
+	if len(rows) == 0 {
+		return &Normalizer{Mean: make([]float64, NumericDim), Std: ones(NumericDim)}
+	}
+	dim := len(rows[0])
+	n := &Normalizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, r := range rows {
+		for i, v := range r {
+			n.Mean[i] += v
+		}
+	}
+	for i := range n.Mean {
+		n.Mean[i] /= float64(len(rows))
+	}
+	for _, r := range rows {
+		for i, v := range r {
+			d := v - n.Mean[i]
+			n.Std[i] += d * d
+		}
+	}
+	for i := range n.Std {
+		n.Std[i] = math.Sqrt(n.Std[i] / float64(len(rows)))
+		if n.Std[i] < 1e-9 {
+			n.Std[i] = 1
+		}
+	}
+	return n
+}
+
+// Apply standardizes one feature vector (out of place).
+func (n *Normalizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v - n.Mean[i]) / n.Std[i]
+	}
+	return out
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

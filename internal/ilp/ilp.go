@@ -1,0 +1,281 @@
+// Package ilp provides exact 0-1 integer linear programming by branch and
+// bound, standing in for the PuLP/Gurobi solvers the paper calls
+// (Section V-A: "we can solve the problem efficiently by existing ILP
+// solvers").
+//
+// Two entry points cover the paper's needs:
+//
+//   - Problem.Maximize: a generic small-scale 0-1 maximizer with ≤
+//     constraints, used for per-query Y-Opt subproblems.
+//   - MaxWeightIndependentSet: the Y-Opt subproblem in its natural form —
+//     the overlap constraints make view choice per query a maximum-weight
+//     independent-set problem on the conflict graph — with a tighter
+//     bound, used on hot paths.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Term is one coefficient of a linear constraint.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is Σ Coef_i·x_i ≤ RHS over binary variables.
+type Constraint struct {
+	Terms []Term
+	RHS   float64
+}
+
+// Problem is a 0-1 maximization problem.
+type Problem struct {
+	// Obj holds the objective coefficient of each binary variable.
+	Obj []float64
+	// Cons are the ≤ constraints.
+	Cons []Constraint
+	// NodeBudget caps branch-and-bound nodes (0 = 10 million). When the
+	// budget is exhausted the best incumbent is returned with
+	// optimal=false.
+	NodeBudget int
+}
+
+// Solution is the result of Maximize.
+type Solution struct {
+	X       []bool
+	Value   float64
+	Optimal bool
+	Nodes   int
+}
+
+// Maximize solves the problem exactly (within the node budget).
+func (p *Problem) Maximize() (Solution, error) {
+	n := len(p.Obj)
+	for _, c := range p.Cons {
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return Solution{}, fmt.Errorf("ilp: constraint references variable %d of %d", t.Var, n)
+			}
+		}
+	}
+	budget := p.NodeBudget
+	if budget <= 0 {
+		budget = 10_000_000
+	}
+
+	// Branch order: largest |objective| first, so strong decisions are
+	// made early and the additive bound tightens quickly.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return math.Abs(p.Obj[order[a]]) > math.Abs(p.Obj[order[b]])
+	})
+
+	// suffixPos[k] = sum of positive objective coefficients of
+	// order[k:]; the additive upper bound for the unfixed tail.
+	suffixPos := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		suffixPos[k] = suffixPos[k+1] + math.Max(0, p.Obj[order[k]])
+	}
+
+	// varCons[v] lists the constraints touching v for incremental slack
+	// updates.
+	varCons := make([][]int, n)
+	for ci, c := range p.Cons {
+		for _, t := range c.Terms {
+			varCons[t.Var] = append(varCons[t.Var], ci)
+		}
+	}
+	slack := make([]float64, len(p.Cons))
+	minRemain := make([]float64, len(p.Cons)) // most-negative achievable remaining sum
+	for ci, c := range p.Cons {
+		slack[ci] = c.RHS
+		for _, t := range c.Terms {
+			if t.Coef < 0 {
+				minRemain[ci] += t.Coef
+			}
+		}
+	}
+	coefOf := func(ci, v int) float64 {
+		for _, t := range p.Cons[ci].Terms {
+			if t.Var == v {
+				return t.Coef
+			}
+		}
+		return 0
+	}
+
+	sol := Solution{X: make([]bool, n), Value: math.Inf(-1)}
+	cur := make([]bool, n)
+	var curVal float64
+	nodes := 0
+
+	var rec func(k int) bool // returns false when budget exhausted
+	rec = func(k int) bool {
+		nodes++
+		if nodes > budget {
+			return false
+		}
+		if curVal+suffixPos[k] <= sol.Value {
+			return true // cannot beat the incumbent
+		}
+		if k == n {
+			if curVal > sol.Value {
+				sol.Value = curVal
+				copy(sol.X, cur)
+			}
+			return true
+		}
+		v := order[k]
+		// Try x_v = 1 first when it helps the objective.
+		tryOrder := []bool{true, false}
+		if p.Obj[v] <= 0 {
+			tryOrder = []bool{false, true}
+		}
+		for _, val := range tryOrder {
+			feasible := true
+			if val {
+				for _, ci := range varCons[v] {
+					cf := coefOf(ci, v)
+					newSlack := slack[ci] - cf
+					// Infeasible if even the most favorable
+					// remaining assignment cannot satisfy it.
+					rem := minRemain[ci]
+					if cf < 0 {
+						rem -= cf
+					}
+					if newSlack < rem-1e-9 {
+						feasible = false
+						break
+					}
+				}
+			} else {
+				for _, ci := range varCons[v] {
+					cf := coefOf(ci, v)
+					rem := minRemain[ci]
+					if cf < 0 {
+						rem -= cf
+					}
+					if slack[ci] < rem-1e-9 {
+						feasible = false
+						break
+					}
+				}
+			}
+			if !feasible {
+				continue
+			}
+			// Apply.
+			if val {
+				cur[v] = true
+				curVal += p.Obj[v]
+				for _, ci := range varCons[v] {
+					cf := coefOf(ci, v)
+					slack[ci] -= cf
+					if cf < 0 {
+						minRemain[ci] -= cf
+					}
+				}
+			} else {
+				for _, ci := range varCons[v] {
+					if cf := coefOf(ci, v); cf < 0 {
+						minRemain[ci] -= cf
+					}
+				}
+			}
+			ok := rec(k + 1)
+			// Undo.
+			if val {
+				cur[v] = false
+				curVal -= p.Obj[v]
+				for _, ci := range varCons[v] {
+					cf := coefOf(ci, v)
+					slack[ci] += cf
+					if cf < 0 {
+						minRemain[ci] += cf
+					}
+				}
+			} else {
+				for _, ci := range varCons[v] {
+					if cf := coefOf(ci, v); cf < 0 {
+						minRemain[ci] += cf
+					}
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	finished := rec(0)
+	sol.Optimal = finished
+	sol.Nodes = nodes
+	if math.IsInf(sol.Value, -1) {
+		// No feasible assignment found (can only happen with a
+		// pathological budget); report the all-zero solution if
+		// feasible.
+		sol.Value = 0
+	}
+	return sol, nil
+}
+
+// MaxWeightIndependentSet solves max Σ w_i x_i subject to x_i + x_j ≤ 1
+// for every conflicting pair, exactly. Vertices with non-positive weight
+// are never selected. conflict must be symmetric.
+func MaxWeightIndependentSet(weights []float64, conflict [][]bool) ([]bool, float64) {
+	n := len(weights)
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if weights[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	// Heaviest first: good incumbents early.
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+
+	suffix := make([]float64, len(order)+1)
+	for k := len(order) - 1; k >= 0; k-- {
+		suffix[k] = suffix[k+1] + weights[order[k]]
+	}
+
+	best := make([]bool, n)
+	var bestVal float64
+	cur := make([]bool, n)
+	blocked := make([]int, n) // count of selected neighbors
+
+	var rec func(k int, val float64)
+	rec = func(k int, val float64) {
+		if val > bestVal {
+			bestVal = val
+			copy(best, cur)
+		}
+		if k == len(order) || val+suffix[k] <= bestVal {
+			return
+		}
+		v := order[k]
+		if blocked[v] == 0 {
+			cur[v] = true
+			for u := 0; u < n; u++ {
+				if conflict[v][u] {
+					blocked[u]++
+				}
+			}
+			rec(k+1, val+weights[v])
+			cur[v] = false
+			for u := 0; u < n; u++ {
+				if conflict[v][u] {
+					blocked[u]--
+				}
+			}
+		}
+		rec(k+1, val)
+	}
+	rec(0, 0)
+	return best, bestVal
+}

@@ -1,0 +1,244 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates all assignments of a small problem.
+func bruteForce(p *Problem) (best float64, bestX []bool) {
+	n := len(p.Obj)
+	best = math.Inf(-1)
+	for mask := 0; mask < 1<<n; mask++ {
+		feasible := true
+		for _, c := range p.Cons {
+			var lhs float64
+			for _, t := range c.Terms {
+				if mask&(1<<t.Var) != 0 {
+					lhs += t.Coef
+				}
+			}
+			if lhs > c.RHS+1e-9 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		var val float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				val += p.Obj[i]
+			}
+		}
+		if val > best {
+			best = val
+			bestX = make([]bool, n)
+			for i := 0; i < n; i++ {
+				bestX[i] = mask&(1<<i) != 0
+			}
+		}
+	}
+	return best, bestX
+}
+
+func TestMaximizeSimple(t *testing.T) {
+	// max 3a + 2b - c  s.t. a+b <= 1.
+	p := &Problem{
+		Obj: []float64{3, 2, -1},
+		Cons: []Constraint{
+			{Terms: []Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, RHS: 1},
+		},
+	}
+	sol, err := p.Maximize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Optimal || sol.Value != 3 || !sol.X[0] || sol.X[1] || sol.X[2] {
+		t.Errorf("sol = %+v", sol)
+	}
+}
+
+func TestMaximizeAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(9) // up to 10 variables
+		p := &Problem{Obj: make([]float64, n)}
+		for i := range p.Obj {
+			p.Obj[i] = math.Round((rng.Float64()*20-8)*10) / 10
+		}
+		nc := rng.Intn(6)
+		for c := 0; c < nc; c++ {
+			var terms []Term
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					terms = append(terms, Term{Var: v, Coef: math.Round((rng.Float64()*4 - 1) * 10 / 10)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			p.Cons = append(p.Cons, Constraint{Terms: terms, RHS: math.Round(rng.Float64() * 3)})
+		}
+		want, _ := bruteForce(p)
+		sol, err := p.Maximize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Optimal {
+			t.Fatalf("trial %d: not optimal within budget", trial)
+		}
+		if math.Abs(sol.Value-want) > 1e-6 {
+			t.Fatalf("trial %d: got %v, brute force %v (p=%+v)", trial, sol.Value, want, p)
+		}
+		// The reported assignment must actually achieve the value and
+		// satisfy all constraints.
+		var check float64
+		for i, x := range sol.X {
+			if x {
+				check += p.Obj[i]
+			}
+		}
+		if math.Abs(check-sol.Value) > 1e-9 {
+			t.Fatalf("trial %d: assignment value %v != reported %v", trial, check, sol.Value)
+		}
+		for ci, c := range p.Cons {
+			var lhs float64
+			for _, tm := range c.Terms {
+				if sol.X[tm.Var] {
+					lhs += tm.Coef
+				}
+			}
+			if lhs > c.RHS+1e-9 {
+				t.Fatalf("trial %d: constraint %d violated", trial, ci)
+			}
+		}
+	}
+}
+
+func TestMaximizeBadVariable(t *testing.T) {
+	p := &Problem{Obj: []float64{1}, Cons: []Constraint{{Terms: []Term{{Var: 3, Coef: 1}}, RHS: 1}}}
+	if _, err := p.Maximize(); err == nil {
+		t.Error("out-of-range variable should error")
+	}
+}
+
+func TestMaximizeBudgetExhaustion(t *testing.T) {
+	n := 20
+	p := &Problem{Obj: make([]float64, n), NodeBudget: 5}
+	for i := range p.Obj {
+		p.Obj[i] = 1
+	}
+	sol, err := p.Maximize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Optimal {
+		t.Error("budget of 5 nodes cannot prove optimality for 20 vars")
+	}
+}
+
+func TestMWISAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64()*10 - 2
+		}
+		conflict := make([][]bool, n)
+		for i := range conflict {
+			conflict[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					conflict[i][j] = true
+					conflict[j][i] = true
+				}
+			}
+		}
+		// Brute force.
+		var want float64
+		for mask := 0; mask < 1<<n; mask++ {
+			ok := true
+			var val float64
+			for i := 0; i < n && ok; i++ {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				val += w[i]
+				for j := i + 1; j < n; j++ {
+					if mask&(1<<j) != 0 && conflict[i][j] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && val > want {
+				want = val
+			}
+		}
+		sel, got := MaxWeightIndependentSet(w, conflict)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: MWIS %v, brute force %v", trial, got, want)
+		}
+		// Verify independence and value.
+		var check float64
+		for i := range sel {
+			if !sel[i] {
+				continue
+			}
+			check += w[i]
+			for j := range sel {
+				if sel[j] && conflict[i][j] {
+					t.Fatalf("trial %d: conflicting pair selected", trial)
+				}
+			}
+		}
+		if math.Abs(check-got) > 1e-9 {
+			t.Fatalf("trial %d: selection value %v != reported %v", trial, check, got)
+		}
+	}
+}
+
+func TestMWISNeverPicksNegative(t *testing.T) {
+	w := []float64{-1, -2, 0}
+	conflict := [][]bool{{false, false, false}, {false, false, false}, {false, false, false}}
+	sel, val := MaxWeightIndependentSet(w, conflict)
+	if val != 0 {
+		t.Errorf("value = %v, want 0", val)
+	}
+	for i, s := range sel {
+		if s {
+			t.Errorf("vertex %d selected with weight %v", i, w[i])
+		}
+	}
+}
+
+func BenchmarkMWIS30(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 30
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64() * 10
+	}
+	conflict := make([][]bool, n)
+	for i := range conflict {
+		conflict[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.2 {
+				conflict[i][j] = true
+				conflict[j][i] = true
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeightIndependentSet(w, conflict)
+	}
+}

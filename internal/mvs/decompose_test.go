@@ -1,0 +1,71 @@
+package mvs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(6), 2+rng.Intn(8))
+		want := bruteForceOpt(in)
+		res := OptimalExact(in, 0)
+		if !res.Optimal {
+			t.Fatalf("trial %d: budget exhausted unexpectedly", trial)
+		}
+		if math.Abs(res.Utility-want) > 1e-9 {
+			t.Fatalf("trial %d: OptimalExact %v, brute force %v", trial, res.Utility, want)
+		}
+		if !in.Feasible(res.State) {
+			t.Fatalf("trial %d: state infeasible", trial)
+		}
+		if math.Abs(in.Utility(res.State)-res.Utility) > 1e-9 {
+			t.Fatalf("trial %d: state utility %v != reported %v", trial, in.Utility(res.State), res.Utility)
+		}
+	}
+}
+
+func TestOptimalExactAgreesWithOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 10, 10)
+		a := Optimal(in, 0)
+		b := OptimalExact(in, 0)
+		if !a.Optimal || !b.Optimal {
+			t.Fatal("both solvers should finish on small instances")
+		}
+		if math.Abs(a.Utility-b.Utility) > 1e-9 {
+			t.Fatalf("trial %d: Optimal %v != OptimalExact %v", trial, a.Utility, b.Utility)
+		}
+	}
+}
+
+func TestOptimalExactDominanceDropsUselessViews(t *testing.T) {
+	// One view with overhead above any possible benefit must stay out.
+	in := &Instance{
+		Benefit:  [][]float64{{1, 3}},
+		Overhead: []float64{5, 1},
+		Overlap:  [][]bool{{false, false}, {false, false}},
+	}
+	res := OptimalExact(in, 0)
+	if res.State.Z[0] {
+		t.Error("dominated view selected")
+	}
+	if !res.State.Z[1] || res.Utility != 2 {
+		t.Errorf("utility = %v, want 2", res.Utility)
+	}
+}
+
+func TestOptimalSeededUsesIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	in := randomInstance(rng, 8, 9)
+	opt := Optimal(in, 0)
+	// Seeding with the optimum must still return it, with fewer nodes
+	// than a tiny-budget unseeded run would find.
+	res := OptimalSeeded(in, 0, opt.State.Z)
+	if math.Abs(res.Utility-opt.Utility) > 1e-9 {
+		t.Errorf("seeded utility %v != optimum %v", res.Utility, opt.Utility)
+	}
+}

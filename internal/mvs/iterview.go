@@ -1,0 +1,197 @@
+package mvs
+
+import (
+	"math/rand"
+)
+
+// IterOptions configures IterView.
+type IterOptions struct {
+	// Iterations is the paper's n.
+	Iterations int
+	// FreezeAfter, when positive, forbids 1→0 flips once the iteration
+	// index reaches it — the convergence hack the paper attributes to
+	// BigSub ("forbids turning selected subqueries to unselected when
+	// the number of iterations exceeds a certain threshold").
+	FreezeAfter int
+	// Rand drives initialization and flipping thresholds.
+	Rand *rand.Rand
+}
+
+// IterResult is the outcome of an IterView run.
+type IterResult struct {
+	// Final is the assignment after the last iteration.
+	Final *State
+	// Best is the best-utility assignment seen across iterations.
+	Best *State
+	// BestUtility is the utility of Best.
+	BestUtility float64
+	// Trace records the utility after each iteration (for Figure 10).
+	Trace []float64
+	// BestIteration is the 1-based iteration where Best was reached.
+	BestIteration int
+}
+
+// IterView implements the paper's function IterView: random ⟨Z, Y⟩
+// initialization followed by alternating Z-Opt / Y-Opt iterations with the
+// flipping probabilities of Equation 3.
+func IterView(in *Instance, opts IterOptions) *IterResult {
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 100
+	}
+	nv := in.NumViews()
+	bmax := in.maxBenefits()
+	omax := 0.0
+	for _, o := range in.Overhead {
+		omax += o
+	}
+
+	st := NewState(in)
+	// Lines 3-5: random Z and the current overhead.
+	ocur := 0.0
+	for j := 0; j < nv; j++ {
+		st.Z[j] = rng.Intn(2) == 1
+		if st.Z[j] {
+			ocur += in.Overhead[j]
+		}
+	}
+	// Lines 6-9: random constraint-respecting Y.
+	bcur := make([]float64, nv)
+	for i := range st.Y {
+		for j := 0; j < nv; j++ {
+			if !st.Z[j] || in.Benefit[i][j] <= 0 {
+				continue
+			}
+			if overlapsSelected(in, st.Y[i], j) {
+				continue
+			}
+			if rng.Intn(2) == 1 {
+				st.Y[i][j] = true
+				bcur[j] += in.Benefit[i][j]
+			}
+		}
+	}
+
+	res := &IterResult{}
+	record := func(iter int) {
+		u := in.Utility(st)
+		res.Trace = append(res.Trace, u)
+		if res.Best == nil || u > res.BestUtility {
+			res.Best = st.Clone()
+			res.BestUtility = u
+			res.BestIteration = iter
+		}
+	}
+	record(0)
+
+	// Lines 10-13: alternate Z-Opt and Y-Opt.
+	for iter := 1; iter <= iters; iter++ {
+		tau := rng.Float64()
+		freeze := opts.FreezeAfter > 0 && iter >= opts.FreezeAfter
+		ocur = zOpt(in, st, bmax, bcur, ocur, omax, tau, freeze)
+		var y [][]bool
+		y, bcur = in.BestY(st.Z)
+		st.Y = y
+		record(iter)
+	}
+	res.Final = st
+	return res
+}
+
+// overlapsSelected reports whether view j overlaps any already-selected
+// view of the query's row.
+func overlapsSelected(in *Instance, row []bool, j int) bool {
+	for k, used := range row {
+		if used && in.Overlap[j][k] {
+			return true
+		}
+	}
+	return false
+}
+
+// zOpt implements the paper's function Z-Opt: each z_j flips when its
+// flipping probability p^flip_j = p^overhead_j · p^benefit_j reaches the
+// threshold τ (Equation 3). It returns the updated current overhead.
+func zOpt(in *Instance, st *State, bmax, bcur []float64, ocur, omax, tau float64, freeze bool) float64 {
+	var bcurSum, bmaxSum float64
+	for j := range bcur {
+		bcurSum += bcur[j]
+		bmaxSum += bmax[j]
+	}
+	for j := range st.Z {
+		if freeze && st.Z[j] {
+			continue
+		}
+		p := flipProbability(in.Overhead[j], bmax[j], bcur[j], st.Z[j], ocur, omax, bcurSum, bmaxSum)
+		if p >= tau {
+			st.Z[j] = !st.Z[j]
+			if st.Z[j] {
+				ocur += in.Overhead[j]
+			} else {
+				ocur -= in.Overhead[j]
+			}
+		}
+	}
+	return ocur
+}
+
+// flipProbability evaluates Equation 3 with guarded divisions: ratios with
+// zero denominators degrade to 0 (no evidence for flipping) except where a
+// zero denominator means "free" (zero overhead), which saturates to 1.
+func flipProbability(oj, bmaxj, bcurj float64, z bool, ocur, omax, bcurSum, bmaxSum float64) float64 {
+	var pOver, pBen float64
+	if z {
+		// Selected: flip if expensive and weakly used.
+		pOver = safeDiv(oj, ocur, 0)
+		pBen = 1 - safeDiv(bcurj, bcurSum, 1)
+	} else {
+		// Unselected: flip if cheap overall and promising.
+		pOver = 1 - safeDiv(ocur, omax, 1)
+		pBen = safeDiv(safeDiv(bmaxj, oj, 1), safeDiv(bmaxSum, omax, 1), 0)
+	}
+	return clamp01(pOver) * clamp01(pBen)
+}
+
+// FlipProbabilities evaluates Equation 3 for every view under the current
+// state, returning p^flip per candidate. Exposed for RLView's exploratory
+// policy, which samples actions from this distribution instead of
+// uniformly at random.
+func FlipProbabilities(in *Instance, st *State, bcur []float64) []float64 {
+	bmax := in.maxBenefits()
+	var omax, ocur, bcurSum, bmaxSum float64
+	for j, o := range in.Overhead {
+		omax += o
+		if st.Z[j] {
+			ocur += o
+		}
+		bcurSum += bcur[j]
+		bmaxSum += bmax[j]
+	}
+	out := make([]float64, in.NumViews())
+	for j := range out {
+		out[j] = flipProbability(in.Overhead[j], bmax[j], bcur[j], st.Z[j], ocur, omax, bcurSum, bmaxSum)
+	}
+	return out
+}
+
+// safeDiv returns a/b, or fallback when b is not positive.
+func safeDiv(a, b, fallback float64) float64 {
+	if b <= 0 {
+		return fallback
+	}
+	return a / b
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

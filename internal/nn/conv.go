@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ConvBlock is one convolution block of the paper's String Encoding model:
+// Conv2d (3×1 kernel, single channel, zero padding) → BatchNorm2d → ReLU.
+// Inputs are matrices represented as slices of equal-length row vectors
+// (rows = characters, columns = embedding dimensions); the convolution
+// slides along the row (character) axis.
+type ConvBlock struct {
+	// K holds the 3 kernel weights plus bias [1 x 4].
+	K *Param
+	// Gamma/Beta are the batch-norm scale and shift (single channel).
+	Gamma *Param
+	Beta  *Param
+}
+
+// NewConvBlock allocates an initialized block.
+func NewConvBlock(name string, rng *rand.Rand) *ConvBlock {
+	b := &ConvBlock{
+		K:     NewParam(name+".k", 1, 4).InitXavier(rng),
+		Gamma: NewParam(name+".gamma", 1, 1),
+		Beta:  NewParam(name+".beta", 1, 1),
+	}
+	b.Gamma.Val[0] = 1
+	return b
+}
+
+// Params implements Module.
+func (b *ConvBlock) Params() []*Param { return []*Param{b.K, b.Gamma, b.Beta} }
+
+// MatBackward propagates matrix-shaped gradients.
+type MatBackward func(dy []Vec) []Vec
+
+const bnEps = 1e-5
+
+// Forward applies conv → norm → relu, preserving the matrix shape.
+func (b *ConvBlock) Forward(m []Vec) ([]Vec, MatBackward) {
+	T := len(m)
+	if T == 0 {
+		return nil, func(dy []Vec) []Vec { return nil }
+	}
+	D := len(m[0])
+	w0, w1, w2, bias := b.K.Val[0], b.K.Val[1], b.K.Val[2], b.K.Val[3]
+
+	// Convolution with zero padding along the character axis.
+	conv := make([]Vec, T)
+	for t := 0; t < T; t++ {
+		conv[t] = zeros(D)
+		for d := 0; d < D; d++ {
+			sum := bias + w1*m[t][d]
+			if t > 0 {
+				sum += w0 * m[t-1][d]
+			}
+			if t < T-1 {
+				sum += w2 * m[t+1][d]
+			}
+			conv[t][d] = sum
+		}
+	}
+
+	// Per-sample normalization over all elements (BatchNorm2d with a
+	// single channel, instance statistics at inference scale).
+	n := float64(T * D)
+	var mu float64
+	for t := range conv {
+		for _, v := range conv[t] {
+			mu += v
+		}
+	}
+	mu /= n
+	var variance float64
+	for t := range conv {
+		for _, v := range conv[t] {
+			dv := v - mu
+			variance += dv * dv
+		}
+	}
+	variance /= n
+	std := math.Sqrt(variance + bnEps)
+	gamma, beta := b.Gamma.Val[0], b.Beta.Val[0]
+
+	xhat := make([]Vec, T)
+	out := make([]Vec, T)
+	for t := 0; t < T; t++ {
+		xhat[t] = zeros(D)
+		out[t] = zeros(D)
+		for d := 0; d < D; d++ {
+			xh := (conv[t][d] - mu) / std
+			xhat[t][d] = xh
+			y := gamma*xh + beta
+			if y > 0 {
+				out[t][d] = y
+			}
+		}
+	}
+
+	back := func(dy []Vec) []Vec {
+		// ReLU backward.
+		dNorm := make([]Vec, T)
+		for t := 0; t < T; t++ {
+			dNorm[t] = zeros(D)
+			for d := 0; d < D; d++ {
+				if gamma*xhat[t][d]+beta > 0 {
+					dNorm[t][d] = dy[t][d]
+				}
+			}
+		}
+		// BatchNorm backward.
+		var dGamma, dBeta, sumDxhat, sumDxhatXhat float64
+		dXhat := make([]Vec, T)
+		for t := 0; t < T; t++ {
+			dXhat[t] = zeros(D)
+			for d := 0; d < D; d++ {
+				dGamma += dNorm[t][d] * xhat[t][d]
+				dBeta += dNorm[t][d]
+				dx := dNorm[t][d] * gamma
+				dXhat[t][d] = dx
+				sumDxhat += dx
+				sumDxhatXhat += dx * xhat[t][d]
+			}
+		}
+		b.Gamma.Grad[0] += dGamma
+		b.Beta.Grad[0] += dBeta
+		dConv := make([]Vec, T)
+		for t := 0; t < T; t++ {
+			dConv[t] = zeros(D)
+			for d := 0; d < D; d++ {
+				dConv[t][d] = (dXhat[t][d] - sumDxhat/n - xhat[t][d]*sumDxhatXhat/n) / std
+			}
+		}
+		// Convolution backward.
+		dm := make([]Vec, T)
+		for t := 0; t < T; t++ {
+			dm[t] = zeros(D)
+		}
+		var dw0, dw1, dw2, dbias float64
+		for t := 0; t < T; t++ {
+			for d := 0; d < D; d++ {
+				g := dConv[t][d]
+				if g == 0 {
+					continue
+				}
+				dbias += g
+				dw1 += g * m[t][d]
+				dm[t][d] += g * w1
+				if t > 0 {
+					dw0 += g * m[t-1][d]
+					dm[t-1][d] += g * w0
+				}
+				if t < T-1 {
+					dw2 += g * m[t+1][d]
+					dm[t+1][d] += g * w2
+				}
+			}
+		}
+		b.K.Grad[0] += dw0
+		b.K.Grad[1] += dw1
+		b.K.Grad[2] += dw2
+		b.K.Grad[3] += dbias
+		return dm
+	}
+	return out, back
+}
+
+// AvgPoolCols averages a matrix over its rows, producing one vector of the
+// column dimension: Ds[i] = Avg(M'[:, i]) as in the String Encoding model.
+func AvgPoolCols(m []Vec) (Vec, MatBackward) {
+	T := len(m)
+	if T == 0 {
+		return nil, func(dy []Vec) []Vec { return nil }
+	}
+	D := len(m[0])
+	y := zeros(D)
+	for _, row := range m {
+		addInto(y, row)
+	}
+	inv := 1 / float64(T)
+	for i := range y {
+		y[i] *= inv
+	}
+	back := func(dy []Vec) []Vec {
+		d := dy[0]
+		dm := make([]Vec, T)
+		for t := 0; t < T; t++ {
+			dm[t] = zeros(D)
+			for i := range d {
+				dm[t][i] = d[i] * inv
+			}
+		}
+		return dm
+	}
+	return y, back
+}

@@ -1,0 +1,145 @@
+// Package nn is a small from-scratch neural-network library: parameters,
+// dense/embedding/convolution/LSTM layers with exact backpropagation, MSE
+// loss, and SGD/Adam optimizers. It substitutes for the PyTorch models the
+// paper uses (Wide-Deep cost estimator, DQN) with identical architectures.
+//
+// The design is functional: every Forward call returns the output together
+// with a backward closure, so layers can be applied repeatedly within one
+// sample (LSTM time steps, shared embeddings) and gradients accumulate
+// correctly into the shared parameters.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense float64 vector.
+type Vec = []float64
+
+// Param is one learnable tensor (stored flat) with its gradient
+// accumulator.
+type Param struct {
+	Name string
+	Val  []float64
+	Grad []float64
+	// Rows/Cols describe the logical matrix shape (Rows=1 for vectors).
+	Rows, Cols int
+}
+
+// NewParam allocates a zero-initialized parameter.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		Val:  make([]float64, rows*cols),
+		Grad: make([]float64, rows*cols),
+		Rows: rows,
+		Cols: cols,
+	}
+}
+
+// InitXavier fills the parameter with Glorot-uniform noise.
+func (p *Param) InitXavier(rng *rand.Rand) *Param {
+	fanIn, fanOut := p.Cols, p.Rows
+	if fanIn == 0 {
+		fanIn = 1
+	}
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range p.Val {
+		p.Val[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return p
+}
+
+// At returns the element at (r, c).
+func (p *Param) At(r, c int) float64 { return p.Val[r*p.Cols+c] }
+
+// Row returns the r-th row slice (shared storage).
+func (p *Param) Row(r int) []float64 { return p.Val[r*p.Cols : (r+1)*p.Cols] }
+
+// GradRow returns the r-th gradient row slice (shared storage).
+func (p *Param) GradRow(r int) []float64 { return p.Grad[r*p.Cols : (r+1)*p.Cols] }
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Size returns the number of scalar parameters.
+func (p *Param) Size() int { return len(p.Val) }
+
+func (p *Param) String() string {
+	return fmt.Sprintf("%s[%dx%d]", p.Name, p.Rows, p.Cols)
+}
+
+// Module is anything holding learnable parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// CollectParams flattens the parameters of several modules.
+func CollectParams(mods ...Module) []*Param {
+	var out []*Param
+	for _, m := range mods {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all gradients.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount sums scalar parameter counts.
+func ParamCount(params []*Param) int {
+	total := 0
+	for _, p := range params {
+		total += p.Size()
+	}
+	return total
+}
+
+// Backward is the gradient closure returned by Forward passes: it takes
+// dL/dy and returns dL/dx while accumulating parameter gradients.
+type Backward func(dy Vec) Vec
+
+// zeros allocates an n-vector.
+func zeros(n int) Vec { return make(Vec, n) }
+
+// addInto accumulates src into dst.
+func addInto(dst, src Vec) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Concat joins vectors.
+func Concat(vs ...Vec) Vec {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vec, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// SplitBackward splits a gradient of a concatenation back into pieces of
+// the given lengths.
+func SplitBackward(d Vec, lens ...int) []Vec {
+	out := make([]Vec, len(lens))
+	off := 0
+	for i, n := range lens {
+		out[i] = d[off : off+n]
+		off += n
+	}
+	return out
+}

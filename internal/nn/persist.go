@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the on-disk form of one parameter.
+type paramBlob struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Val  []float64 `json:"val"`
+}
+
+// SaveParams serializes parameters as JSON (values only; gradients and
+// optimizer state are not persisted).
+func SaveParams(w io.Writer, params []*Param) error {
+	blobs := make([]paramBlob, len(params))
+	for i, p := range params {
+		blobs[i] = paramBlob{Name: p.Name, Rows: p.Rows, Cols: p.Cols, Val: p.Val}
+	}
+	if err := json.NewEncoder(w).Encode(blobs); err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	return nil
+}
+
+// LoadParams restores parameter values saved by SaveParams into an
+// identically structured parameter list, matching by name. Every
+// parameter must be present with matching shape.
+func LoadParams(r io.Reader, params []*Param) error {
+	var blobs []paramBlob
+	if err := json.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: load params: %w", err)
+	}
+	byName := make(map[string]paramBlob, len(blobs))
+	for _, b := range blobs {
+		byName[b.Name] = b
+	}
+	for _, p := range params {
+		b, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: load params: missing %q", p.Name)
+		}
+		if b.Rows != p.Rows || b.Cols != p.Cols {
+			return fmt.Errorf("nn: load params: %q shape %dx%d, want %dx%d",
+				p.Name, b.Rows, b.Cols, p.Rows, p.Cols)
+		}
+		copy(p.Val, b.Val)
+	}
+	return nil
+}

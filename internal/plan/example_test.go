@@ -1,0 +1,60 @@
+package plan_test
+
+import (
+	"fmt"
+
+	"autoview/internal/catalog"
+	"autoview/internal/plan"
+)
+
+// Example parses the paper's Figure 2 query, prints its operator-sequence
+// serialization (Figure 4) and extracts its subqueries.
+func Example() {
+	cat := catalog.New()
+	cat.Add(&catalog.Table{
+		Name: "user_memo",
+		Columns: []catalog.Column{
+			{Name: "user_id", Type: catalog.TypeInt, Distinct: 100},
+			{Name: "memo", Type: catalog.TypeString, Distinct: 50},
+			{Name: "memo_type", Type: catalog.TypeString, Distinct: 5},
+			{Name: "dt", Type: catalog.TypeString, Distinct: 10},
+		},
+		Stats: catalog.TableStats{Rows: 1000},
+	})
+
+	p, err := plan.Parse("select user_id, count(*) as cnt from user_memo where dt = '1010' and memo_type = 'pen' group by user_id", cat)
+	if err != nil {
+		panic(err)
+	}
+	for _, seq := range plan.Serialize(p) {
+		fmt.Println(seq)
+	}
+	fmt.Println("subqueries:", len(plan.ExtractSubqueries(p)))
+	// Output:
+	// [Aggregate, user_id, cnt, COUNT]
+	// [Filter, AND, EQ, dt, '1010', EQ, memo_type, 'pen']
+	// [Scan, user_memo]
+	// subqueries: 0
+}
+
+// ExampleToSQL renders a plan back into executable SQL — the view-DDL
+// path.
+func ExampleToSQL() {
+	cat := catalog.New()
+	cat.Add(&catalog.Table{
+		Name: "events",
+		Columns: []catalog.Column{
+			{Name: "uid", Type: catalog.TypeInt, Distinct: 10},
+			{Name: "kind", Type: catalog.TypeInt, Distinct: 3},
+		},
+		Stats: catalog.TableStats{Rows: 100},
+	})
+	p, err := plan.Parse("select uid from events where kind = 2", cat)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.ViewDDL("mv_events", p))
+	// Output:
+	// create materialized view mv_events as
+	// select events.uid from events where events.kind = 2;
+}

@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+// Fingerprint is a canonical identity for a plan subtree. Two subtrees with
+// equal fingerprints compute the same relation on our query fragment (see
+// internal/equiv for the normalization argument). The zero value is
+// invalid.
+type Fingerprint string
+
+// Short returns an abbreviated form for logs.
+func (f Fingerprint) Short() string {
+	s := string(f)
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+// FingerprintOf computes the canonical fingerprint of a subtree.
+//
+// Canonicalization rules:
+//   - qualifiers (aliases) are dropped — they are query-local names;
+//   - filter conjuncts and disjuncts are sorted;
+//   - symmetric comparisons (=, <>) order their operands;
+//   - inner-join inputs are ordered by their children's canonical form, so
+//     A JOIN B and B JOIN A coincide;
+//   - projection and aggregate output order is significant (a view's column
+//     layout matters to the rewriter).
+func FingerprintOf(n *Node) Fingerprint {
+	sum := sha256.Sum256([]byte(canonical(n)))
+	return Fingerprint(hex.EncodeToString(sum[:16]))
+}
+
+// canonical renders the canonical textual form of a subtree.
+func canonical(n *Node) string {
+	switch n.Op {
+	case OpScan:
+		return "Scan(" + n.Table + ")"
+	case OpFilter:
+		return "Filter[" + canonicalPred(n.Pred, n.Child(0).Schema) + "](" + canonical(n.Child(0)) + ")"
+	case OpProject:
+		cs := n.Child(0).Schema
+		parts := make([]string, len(n.Proj))
+		for i, pc := range n.Proj {
+			parts[i] = pc.Name + "<-" + cs[pc.Src].Name
+		}
+		return "Project[" + strings.Join(parts, ",") + "](" + canonical(n.Child(0)) + ")"
+	case OpJoin:
+		lc, rc := canonical(n.Child(0)), canonical(n.Child(1))
+		ls, rs := n.Child(0).Schema, n.Child(1).Schema
+		conds := make([]string, len(n.JoinCond))
+		swap := n.JoinType == InnerJoin && rc < lc
+		for i, je := range n.JoinCond {
+			a := ls[je.Left].Name
+			b := rs[je.Right].Name
+			if swap {
+				a, b = b, a
+			}
+			conds[i] = a + "=" + b
+		}
+		sort.Strings(conds)
+		if swap {
+			lc, rc = rc, lc
+		}
+		return "Join[" + n.JoinType.String() + ";" + strings.Join(conds, ",") + "](" + lc + ";" + rc + ")"
+	case OpAggregate:
+		cs := n.Child(0).Schema
+		groups := make([]string, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			groups[i] = cs[g].Name
+		}
+		sort.Strings(groups)
+		aggs := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			arg := "*"
+			if a.Col >= 0 {
+				arg = cs[a.Col].Name
+			}
+			aggs[i] = a.Name + "<-" + a.Func.String() + "(" + arg + ")"
+		}
+		return "Aggregate[" + strings.Join(groups, ",") + ";" + strings.Join(aggs, ",") + "](" + canonical(n.Child(0)) + ")"
+	default:
+		return n.Op.String()
+	}
+}
+
+// SubtreeFingerprints returns the fingerprints of every *derived* subtree
+// of n — every operator subtree except bare table scans. The result feeds
+// the overlapping-subquery test of Definition 5: two subqueries overlap
+// iff their derived-subtree fingerprint sets intersect. Bare Scan leaves
+// are excluded: two views that merely read the same base table do not
+// conflict when rewriting a query (their plan regions are disjoint), and
+// counting them would mark almost every candidate pair overlapping —
+// inconsistent with the paper's Figure 2 example, where s1 (over
+// user_memo) and s2 (over user_action) are non-overlapping while s3 (the
+// join containing both) overlaps each.
+func SubtreeFingerprints(n *Node) map[Fingerprint]bool {
+	out := make(map[Fingerprint]bool)
+	n.Walk(func(m *Node) {
+		if m.Op == OpScan {
+			return
+		}
+		out[FingerprintOf(m)] = true
+	})
+	return out
+}
+
+// Overlapping implements Definition 5: subqueries a and b are overlapping
+// iff their plan trees have common (canonically equal) derived subtrees.
+func Overlapping(a, b *Node) bool {
+	fa := SubtreeFingerprints(a)
+	for fp := range SubtreeFingerprints(b) {
+		if fa[fp] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,279 @@
+// Package plan defines logical query plans: operator trees of Scan, Filter,
+// Project, Join and Aggregate nodes with bound (index-resolved) expressions.
+//
+// It also provides everything the paper derives from plans:
+//
+//   - the operator-sequence serialization of Figure 4 (input to the
+//     Wide-Deep feature encoders),
+//   - canonical fingerprints (input to the equivalence detector),
+//   - subquery (subplan) extraction per Section III: subplans rooted at
+//     Aggregate, Join or Project.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"autoview/internal/catalog"
+)
+
+// OpType identifies a logical operator.
+type OpType int
+
+const (
+	// OpScan reads a base table (or a materialized view).
+	OpScan OpType = iota
+	// OpFilter applies a predicate.
+	OpFilter
+	// OpProject selects/renames columns.
+	OpProject
+	// OpJoin is an equi-join of two inputs.
+	OpJoin
+	// OpAggregate groups and aggregates.
+	OpAggregate
+)
+
+// String returns the operator keyword used in serialized plans.
+func (o OpType) String() string {
+	switch o {
+	case OpScan:
+		return "Scan"
+	case OpFilter:
+		return "Filter"
+	case OpProject:
+		return "Project"
+	case OpJoin:
+		return "Join"
+	case OpAggregate:
+		return "Aggregate"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(o))
+	}
+}
+
+// ColInfo describes one output column of a node.
+type ColInfo struct {
+	Qual string // binding qualifier (table alias); "" when unambiguous
+	Name string
+	Type catalog.ColType
+}
+
+// Display renders the column for plan printing.
+func (c ColInfo) Display() string {
+	if c.Qual != "" {
+		return c.Qual + "." + c.Name
+	}
+	return c.Name
+}
+
+// ProjCol maps one output column of a Project to a source column.
+type ProjCol struct {
+	Src  int    // index into the child's schema
+	Name string // output name
+	Qual string // output qualifier ("" unless re-qualified)
+}
+
+// JoinType enumerates join kinds.
+type JoinType int
+
+const (
+	// InnerJoin keeps only matching pairs.
+	InnerJoin JoinType = iota
+	// LeftJoin keeps unmatched left rows padded with zero values.
+	LeftJoin
+)
+
+// String returns the serialization keyword ("inner"/"left").
+func (j JoinType) String() string {
+	if j == LeftJoin {
+		return "left"
+	}
+	return "inner"
+}
+
+// JoinEq is one equality conjunct of a join condition.
+type JoinEq struct {
+	Left  int // index into left child's schema
+	Right int // index into right child's schema
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+const (
+	// AggCount counts rows (or non-null column values; our values have no
+	// nulls so both coincide).
+	AggCount AggFunc = iota
+	// AggSum sums a numeric column.
+	AggSum
+	// AggAvg averages a numeric column.
+	AggAvg
+	// AggMin takes the minimum.
+	AggMin
+	// AggMax takes the maximum.
+	AggMax
+)
+
+// String returns the upper-case serialization keyword (Fig. 4: "COUNT").
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func AggFunc
+	Col  int    // index into child's schema; -1 for count(*)
+	Name string // output column name
+}
+
+// OutSpec maps one output position of an Aggregate node to either a
+// group-by key or an aggregate result.
+type OutSpec struct {
+	FromGroup bool
+	Idx       int // index into GroupBy (FromGroup) or Aggs (!FromGroup)
+}
+
+// Node is a logical plan operator. Exactly the fields relevant to Op are
+// populated. Schema is always populated by the builder.
+type Node struct {
+	Op       OpType
+	Children []*Node
+
+	// OpScan
+	Table string
+
+	// OpFilter
+	Pred Pred
+
+	// OpProject
+	Proj []ProjCol
+
+	// OpJoin
+	JoinType JoinType
+	JoinCond []JoinEq
+
+	// OpAggregate
+	GroupBy []int
+	Aggs    []AggSpec
+	AggOuts []OutSpec
+
+	// Schema is the node's output schema.
+	Schema []ColInfo
+}
+
+// Child returns the i-th child (panics if out of range); a convenience for
+// unary operators where Children[0] is the input.
+func (n *Node) Child(i int) *Node { return n.Children[i] }
+
+// Walk visits n and all descendants in pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Count returns the number of operators in the subtree.
+func (n *Node) Count() int {
+	total := 0
+	n.Walk(func(*Node) { total++ })
+	return total
+}
+
+// Tables returns the distinct base-table names scanned by the subtree, in
+// first-visit order.
+func (n *Node) Tables() []string {
+	seen := make(map[string]bool)
+	var out []string
+	n.Walk(func(m *Node) {
+		if m.Op == OpScan && !seen[m.Table] {
+			seen[m.Table] = true
+			out = append(out, m.Table)
+		}
+	})
+	return out
+}
+
+// Clone deep-copies the subtree. Predicates are immutable and shared.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := *n
+	cp.Children = make([]*Node, len(n.Children))
+	for i, c := range n.Children {
+		cp.Children[i] = c.Clone()
+	}
+	cp.Schema = append([]ColInfo(nil), n.Schema...)
+	cp.Proj = append([]ProjCol(nil), n.Proj...)
+	cp.JoinCond = append([]JoinEq(nil), n.JoinCond...)
+	cp.GroupBy = append([]int(nil), n.GroupBy...)
+	cp.Aggs = append([]AggSpec(nil), n.Aggs...)
+	cp.AggOuts = append([]OutSpec(nil), n.AggOuts...)
+	return &cp
+}
+
+// String renders an indented plan tree, in the spirit of the paper's
+// Figure 2 "Plan" panel.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.format(&b, 0)
+	return b.String()
+}
+
+func (n *Node) format(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	switch n.Op {
+	case OpScan:
+		fmt.Fprintf(b, "Scan(table=[%s])", n.Table)
+	case OpFilter:
+		fmt.Fprintf(b, "Filter(condition=[%s])", PredString(n.Pred, n.Child(0).Schema))
+	case OpProject:
+		parts := make([]string, len(n.Proj))
+		for i, pc := range n.Proj {
+			parts[i] = fmt.Sprintf("%s=[%s]", pc.Name, n.Child(0).Schema[pc.Src].Display())
+		}
+		fmt.Fprintf(b, "Project(%s)", strings.Join(parts, ", "))
+	case OpJoin:
+		conds := make([]string, len(n.JoinCond))
+		ls, rs := n.Child(0).Schema, n.Child(1).Schema
+		for i, je := range n.JoinCond {
+			conds[i] = fmt.Sprintf("EQ(%s, %s)", ls[je.Left].Display(), rs[je.Right].Display())
+		}
+		fmt.Fprintf(b, "Join(condition=[%s], joinType=[%s])", strings.Join(conds, " AND "), n.JoinType)
+	case OpAggregate:
+		groups := make([]string, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			groups[i] = n.Child(0).Schema[g].Display()
+		}
+		aggs := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			arg := "*"
+			if a.Col >= 0 {
+				arg = n.Child(0).Schema[a.Col].Display()
+			}
+			aggs[i] = fmt.Sprintf("%s=[%s(%s)]", a.Name, a.Func, arg)
+		}
+		fmt.Fprintf(b, "Aggregate(group=[{%s}], %s)", strings.Join(groups, ", "), strings.Join(aggs, ", "))
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		c.format(b, depth+1)
+	}
+}

@@ -1,0 +1,129 @@
+package plan
+
+// Normalize returns a semantics-preserving canonical form of the subtree:
+//
+//   - adjacent Filters collapse into one conjunction,
+//   - adjacent Projects compose into one mapping,
+//   - identity Projects (same names, same order, full arity) are removed.
+//
+// Combined with the canonicalization inside FingerprintOf (sorted
+// conjuncts, ordered symmetric comparisons, commuted inner joins, dropped
+// aliases), equal fingerprints of normalized plans give the equivalence
+// test used in place of EQUITAS. The input is not modified.
+func Normalize(n *Node) *Node {
+	return normalize(n.Clone())
+}
+
+// NormalizedFingerprint fingerprints the normalized form of n.
+func NormalizedFingerprint(n *Node) Fingerprint {
+	return FingerprintOf(Normalize(n))
+}
+
+func normalize(n *Node) *Node {
+	for i, c := range n.Children {
+		n.Children[i] = normalize(c)
+	}
+	switch n.Op {
+	case OpFilter:
+		child := n.Child(0)
+		if child.Op == OpFilter {
+			// Filter(p1, Filter(p2, X)) -> Filter(p1 AND p2, X).
+			n.Pred = AndPreds([]Pred{n.Pred, child.Pred})
+			n.Children[0] = child.Child(0)
+			return normalize(n)
+		}
+		if child.Op == OpProject {
+			// Filter(Project(X)) -> Project(Filter(X)): projections
+			// only rename/reorder, so the predicate's columns map
+			// through them. This lets filters stacked across derived
+			// tables merge.
+			inner := &Node{
+				Op:       OpFilter,
+				Children: []*Node{child.Child(0)},
+				Pred:     remapPred(n.Pred, child.Proj),
+				Schema:   append([]ColInfo(nil), child.Child(0).Schema...),
+			}
+			child.Children[0] = inner
+			return normalize(child)
+		}
+		// Deduplicate repeated conjuncts (p AND p -> p), which arise
+		// when stacked filters carry the same condition.
+		n.Pred = dedupConjuncts(n.Pred, child.Schema)
+	case OpProject:
+		child := n.Child(0)
+		if child.Op == OpProject {
+			// Compose the two mappings.
+			merged := make([]ProjCol, len(n.Proj))
+			for i, pc := range n.Proj {
+				inner := child.Proj[pc.Src]
+				merged[i] = ProjCol{Src: inner.Src, Name: pc.Name, Qual: pc.Qual}
+			}
+			n.Proj = merged
+			n.Children[0] = child.Child(0)
+			return normalize(n)
+		}
+		if isIdentityProject(n) {
+			return child
+		}
+	}
+	return n
+}
+
+// remapPred rewrites a predicate's column indices from a projection's
+// output space into its input space.
+func remapPred(p Pred, proj []ProjCol) Pred {
+	switch x := p.(type) {
+	case nil:
+		return nil
+	case *Cmp:
+		return &Cmp{Op: x.Op, L: remapOperand(x.L, proj), R: remapOperand(x.R, proj)}
+	case *Bool:
+		return &Bool{Op: x.Op, L: remapPred(x.L, proj), R: remapPred(x.R, proj)}
+	default:
+		return p
+	}
+}
+
+func remapOperand(o Operand, proj []ProjCol) Operand {
+	if o.IsCol {
+		return ColOperand(proj[o.Col].Src)
+	}
+	return o
+}
+
+// dedupConjuncts drops conjuncts whose canonical form repeats.
+func dedupConjuncts(p Pred, schema []ColInfo) Pred {
+	conj := PredConjuncts(p)
+	if len(conj) < 2 {
+		return p
+	}
+	seen := make(map[string]bool, len(conj))
+	kept := conj[:0]
+	for _, c := range conj {
+		key := canonicalLeaf(c, schema)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, c)
+	}
+	if len(kept) == len(conj) {
+		return p
+	}
+	return AndPreds(kept)
+}
+
+// isIdentityProject reports whether the Project keeps all child columns in
+// order under their original names.
+func isIdentityProject(n *Node) bool {
+	child := n.Child(0)
+	if len(n.Proj) != len(child.Schema) {
+		return false
+	}
+	for i, pc := range n.Proj {
+		if pc.Src != i || pc.Name != child.Schema[i].Name {
+			return false
+		}
+	}
+	return true
+}

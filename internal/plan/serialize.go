@@ -1,0 +1,95 @@
+package plan
+
+import "strings"
+
+// Tok is one element of an operator's attribute sequence. Str marks tokens
+// that are free-form literals ("strings" in the paper's terminology): they
+// are routed through String Encoding, while all other tokens are keywords
+// routed through Keyword Embedding (Section IV-B2).
+type Tok struct {
+	Text string
+	Str  bool
+}
+
+// OpSeq is one operator's attribute sequence: the first-layer sequence of
+// the paper's two-dimensional plan representation (Fig. 4).
+type OpSeq []Tok
+
+// Texts returns the raw token texts.
+func (s OpSeq) Texts() []string {
+	out := make([]string, len(s))
+	for i, t := range s {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// String renders the sequence in Figure 4 style: "[Filter, AND, EQ, dt,
+// '1010', EQ, memo_type, 'pen']".
+func (s OpSeq) String() string {
+	return "[" + strings.Join(s.Texts(), ", ") + "]"
+}
+
+// Serialize renders a plan subtree as its second-layer sequence: a
+// pre-order list of operator attribute sequences, exactly the
+// representation fed to the plan sequence encoder.
+func Serialize(n *Node) []OpSeq {
+	var out []OpSeq
+	n.Walk(func(m *Node) {
+		out = append(out, serializeOp(m))
+	})
+	return out
+}
+
+// SerializeTexts is Serialize with plain-string tokens, the form persisted
+// in the metadata database.
+func SerializeTexts(n *Node) [][]string {
+	seqs := Serialize(n)
+	out := make([][]string, len(seqs))
+	for i, s := range seqs {
+		out[i] = s.Texts()
+	}
+	return out
+}
+
+func serializeOp(n *Node) OpSeq {
+	switch n.Op {
+	case OpScan:
+		return OpSeq{{Text: "Scan"}, {Text: n.Table}}
+	case OpFilter:
+		seq := OpSeq{{Text: "Filter"}}
+		return append(seq, PredTokens(n.Pred, n.Child(0).Schema)...)
+	case OpProject:
+		seq := OpSeq{{Text: "Project"}}
+		for _, pc := range n.Proj {
+			seq = append(seq, Tok{Text: pc.Name})
+		}
+		return seq
+	case OpJoin:
+		seq := OpSeq{{Text: "Join"}}
+		ls, rs := n.Child(0).Schema, n.Child(1).Schema
+		if len(n.JoinCond) > 1 {
+			seq = append(seq, Tok{Text: "AND"})
+		}
+		for _, je := range n.JoinCond {
+			seq = append(seq,
+				Tok{Text: "EQ"},
+				Tok{Text: ls[je.Left].Name},
+				Tok{Text: rs[je.Right].Name})
+		}
+		seq = append(seq, Tok{Text: n.JoinType.String()})
+		return seq
+	case OpAggregate:
+		seq := OpSeq{{Text: "Aggregate"}}
+		cs := n.Child(0).Schema
+		for _, g := range n.GroupBy {
+			seq = append(seq, Tok{Text: cs[g].Name})
+		}
+		for _, a := range n.Aggs {
+			seq = append(seq, Tok{Text: a.Name}, Tok{Text: a.Func.String()})
+		}
+		return seq
+	default:
+		return OpSeq{{Text: n.Op.String()}}
+	}
+}

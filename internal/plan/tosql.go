@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToSQL renders a plan back into SQL text parsable by internal/sqlparse.
+// Derived tables are introduced wherever the tree shape requires them; the
+// generated aliases are q0, q1, ... Round-tripping through Parse yields a
+// semantically equivalent plan (equal normalized fingerprints) whenever
+// the plan's intermediate schemas carry unique column names; duplicate
+// names (e.g. both join sides exposing user_id) are disambiguated with
+// _2-style output aliases, which renames those columns.
+func ToSQL(n *Node) string {
+	g := &sqlGen{}
+	return g.render(n)
+}
+
+// ViewDDL renders a CREATE MATERIALIZED VIEW statement for a subquery
+// plan.
+func ViewDDL(name string, n *Node) string {
+	return fmt.Sprintf("create materialized view %s as\n%s;", name, ToSQL(n))
+}
+
+type sqlGen struct{ aliases int }
+
+func (g *sqlGen) nextAlias() string {
+	g.aliases++
+	return fmt.Sprintf("q%d", g.aliases-1)
+}
+
+// source is a renderable FROM item plus how to reference its columns.
+type source struct {
+	// fromSQL is the FROM clause text (table name or derived table with
+	// alias, possibly with joins).
+	fromSQL string
+	// cols[i] is the SQL expression referencing the i-th column of the
+	// node's schema.
+	cols []string
+	// where carries filter text still attachable at this level ("" if
+	// none).
+	where string
+}
+
+// render produces a full SELECT statement for any node.
+func (g *sqlGen) render(n *Node) string {
+	switch n.Op {
+	case OpProject, OpAggregate:
+		return g.renderSelect(n)
+	case OpFilter:
+		if n.Child(0).Op == OpAggregate {
+			// HAVING shape.
+			return g.renderSelect(n)
+		}
+		src := g.source(n)
+		return selectAll(src, n.Schema)
+	default:
+		src := g.source(n)
+		return selectAll(src, n.Schema)
+	}
+}
+
+// selectAll wraps a source into "select <cols> from ...".
+func selectAll(src source, schema []ColInfo) string {
+	items := make([]string, len(src.cols))
+	used := map[string]int{}
+	for i, expr := range src.cols {
+		name := schema[i].Name
+		if c := used[name]; c > 0 {
+			name = fmt.Sprintf("%s_%d", name, c+1)
+		}
+		used[schema[i].Name]++
+		if expr == name || strings.HasSuffix(expr, "."+name) {
+			items[i] = expr
+		} else {
+			items[i] = expr + " as " + name
+		}
+	}
+	sql := "select " + strings.Join(items, ", ") + " from " + src.fromSQL
+	if src.where != "" {
+		sql += " where " + src.where
+	}
+	return sql
+}
+
+// renderSelect handles Project, Aggregate, and Filter-over-Aggregate roots.
+func (g *sqlGen) renderSelect(n *Node) string {
+	switch n.Op {
+	case OpProject:
+		src := g.source(n.Child(0))
+		items := make([]string, len(n.Proj))
+		used := map[string]int{}
+		for i, pc := range n.Proj {
+			name := pc.Name
+			if c := used[name]; c > 0 {
+				name = fmt.Sprintf("%s_%d", name, c+1)
+			}
+			used[pc.Name]++
+			expr := src.cols[pc.Src]
+			if expr == name || strings.HasSuffix(expr, "."+name) {
+				items[i] = expr
+			} else {
+				items[i] = expr + " as " + name
+			}
+		}
+		sql := "select " + strings.Join(items, ", ") + " from " + src.fromSQL
+		if src.where != "" {
+			sql += " where " + src.where
+		}
+		return sql
+	case OpAggregate:
+		return g.renderAggregate(n, nil)
+	case OpFilter: // HAVING
+		agg := n.Child(0)
+		return g.renderAggregate(agg, n.Pred)
+	default:
+		src := g.source(n)
+		return selectAll(src, n.Schema)
+	}
+}
+
+func (g *sqlGen) renderAggregate(n *Node, having Pred) string {
+	src := g.source(n.Child(0))
+	items := make([]string, len(n.AggOuts))
+	groupExprs := make([]string, len(n.GroupBy))
+	for i, gc := range n.GroupBy {
+		groupExprs[i] = src.cols[gc]
+	}
+	for i, spec := range n.AggOuts {
+		name := n.Schema[i].Name
+		if spec.FromGroup {
+			expr := groupExprs[spec.Idx]
+			if expr == name || strings.HasSuffix(expr, "."+name) {
+				items[i] = expr
+			} else {
+				items[i] = expr + " as " + name
+			}
+			continue
+		}
+		a := n.Aggs[spec.Idx]
+		arg := "*"
+		if a.Col >= 0 {
+			arg = src.cols[a.Col]
+		}
+		items[i] = fmt.Sprintf("%s(%s) as %s", strings.ToLower(a.Func.String()), arg, name)
+	}
+	sql := "select " + strings.Join(items, ", ") + " from " + src.fromSQL
+	if src.where != "" {
+		sql += " where " + src.where
+	}
+	if len(groupExprs) > 0 {
+		sql += " group by " + strings.Join(groupExprs, ", ")
+	}
+	if having != nil {
+		sql += " having " + predSQL(having, schemaNames(n.Schema))
+	}
+	return sql
+}
+
+func schemaNames(schema []ColInfo) []string {
+	out := make([]string, len(schema))
+	for i, c := range schema {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// source flattens Scan / Filter / Join chains into a FROM clause; other
+// operators become derived tables.
+func (g *sqlGen) source(n *Node) source {
+	switch n.Op {
+	case OpScan:
+		cols := make([]string, len(n.Schema))
+		for i, c := range n.Schema {
+			cols[i] = n.Table + "." + c.Name
+		}
+		return source{fromSQL: n.Table, cols: cols}
+	case OpFilter:
+		if n.Child(0).Op == OpAggregate {
+			return g.derived(n)
+		}
+		src := g.source(n.Child(0))
+		pred := predSQL(n.Pred, src.cols)
+		if src.where != "" {
+			pred = src.where + " and " + pred
+		}
+		src.where = pred
+		return src
+	case OpJoin:
+		left := g.sourceForJoin(n.Child(0))
+		right := g.sourceForJoin(n.Child(1))
+		conds := make([]string, len(n.JoinCond))
+		for i, je := range n.JoinCond {
+			conds[i] = left.cols[je.Left] + " = " + right.cols[je.Right]
+		}
+		jt := "inner join"
+		if n.JoinType == LeftJoin {
+			jt = "left join"
+		}
+		from := left.fromSQL + " " + jt + " " + right.fromSQL + " on " + strings.Join(conds, " and ")
+		cols := append(append([]string{}, left.cols...), right.cols...)
+		// Residual filters from either side must stay below the join,
+		// so sides with filters were wrapped by sourceForJoin; no
+		// where can remain here.
+		return source{fromSQL: from, cols: cols}
+	default:
+		return g.derived(n)
+	}
+}
+
+// sourceForJoin renders a join input: bare tables get a fresh alias (so
+// self-joins stay unambiguous), anything else becomes a derived table so
+// its filters stay in place.
+func (g *sqlGen) sourceForJoin(n *Node) source {
+	if n.Op == OpScan {
+		alias := g.nextAlias()
+		cols := make([]string, len(n.Schema))
+		for i, c := range n.Schema {
+			cols[i] = alias + "." + c.Name
+		}
+		return source{fromSQL: n.Table + " " + alias, cols: cols}
+	}
+	return g.derived(n)
+}
+
+// derived wraps a node as "( select ... ) alias".
+func (g *sqlGen) derived(n *Node) source {
+	inner := g.render(n)
+	alias := g.nextAlias()
+	cols := make([]string, len(n.Schema))
+	used := map[string]int{}
+	for i, c := range n.Schema {
+		name := c.Name
+		if cnt := used[name]; cnt > 0 {
+			name = fmt.Sprintf("%s_%d", name, cnt+1)
+		}
+		used[c.Name]++
+		cols[i] = alias + "." + name
+	}
+	return source{fromSQL: "( " + inner + " ) " + alias, cols: cols}
+}
+
+// predSQL renders a bound predicate with column references resolved
+// through cols.
+func predSQL(p Pred, cols []string) string {
+	switch x := p.(type) {
+	case nil:
+		return ""
+	case *Cmp:
+		return operandSQL(x.L, cols) + " " + cmpSQL(x.Op) + " " + operandSQL(x.R, cols)
+	case *Bool:
+		l, r := predSQL(x.L, cols), predSQL(x.R, cols)
+		if x.Op == BoolOr {
+			return "(" + l + " or " + r + ")"
+		}
+		return l + " and " + r
+	default:
+		return ""
+	}
+}
+
+func operandSQL(o Operand, cols []string) string {
+	if o.IsCol {
+		return cols[o.Col]
+	}
+	return o.Const.String()
+}
+
+func cmpSQL(op CmpOp) string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "="
+	}
+}

@@ -1,0 +1,111 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTrip parses SQL, renders the plan back to SQL, re-parses, and
+// asserts semantic equivalence via normalized fingerprints.
+func roundTrip(t *testing.T, sql string) {
+	t.Helper()
+	cat := paperCatalog(t)
+	orig, err := Parse(sql, cat)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	rendered := ToSQL(orig)
+	back, err := Parse(rendered, cat)
+	if err != nil {
+		t.Fatalf("re-parse rendered SQL failed: %v\nrendered: %s", err, rendered)
+	}
+	if NormalizedFingerprint(orig) != NormalizedFingerprint(back) {
+		t.Fatalf("round trip changed semantics\noriginal:  %s\nrendered:  %s\norig plan:\n%s\nback plan:\n%s",
+			sql, rendered, orig, back)
+	}
+}
+
+func TestToSQLRoundTrips(t *testing.T) {
+	cases := []string{
+		"select user_id, memo from user_memo",
+		"select user_id from user_memo where dt = '1010' and memo_type = 'pen'",
+		"select user_id, count(*) as cnt from user_memo group by user_id",
+		"select user_id, count(*) as cnt, max(memo) as mx from user_memo where dt = '1' group by user_id",
+		"select user_id, count(*) as cnt from user_memo group by user_id having cnt > 2",
+		"select x.user_id from ( select user_id, memo from user_memo where dt = '3' ) x",
+		`select t1.user_id, count(*) as cnt
+		 from ( select user_id, memo from user_memo where dt='1010' and memo_type = 'pen' ) t1
+		 inner join ( select user_id, action from user_action where type = 1 and dt='1010' ) t2
+		 on t1.user_id = t2.user_id group by t1.user_id`,
+		"select user_memo.memo from user_memo inner join user_action on user_memo.user_id = user_action.user_id",
+		"select m.memo from user_memo m left join user_action a on m.user_id = a.user_id",
+	}
+	for _, sql := range cases {
+		roundTrip(t, sql)
+	}
+}
+
+func TestToSQLSelfJoinAliases(t *testing.T) {
+	roundTrip(t, "select a.memo from user_memo a inner join user_memo b on a.user_id = b.user_id")
+}
+
+func TestToSQLSubqueryPlans(t *testing.T) {
+	// Every extracted subquery of the paper's example must render to
+	// valid, semantically equivalent SQL — this is the view-DDL path.
+	root := buildPaperPlan(t)
+	cat := paperCatalog(t)
+	for i, s := range ExtractSubqueries(root) {
+		rendered := ToSQL(s.Root)
+		back, err := Parse(rendered, cat)
+		if err != nil {
+			t.Fatalf("subquery %d: rendered SQL does not parse: %v\n%s", i, err, rendered)
+		}
+		if uniqueNames(s.Root.Schema) {
+			if NormalizedFingerprint(back) != NormalizedFingerprint(s.Root) {
+				t.Fatalf("subquery %d: semantics changed\n%s", i, rendered)
+			}
+		} else if len(back.Schema) != len(s.Root.Schema) {
+			// Duplicate output names get _2-style aliases (documented),
+			// so only arity is pinned for those.
+			t.Fatalf("subquery %d: arity changed", i)
+		}
+	}
+}
+
+func uniqueNames(schema []ColInfo) bool {
+	seen := map[string]bool{}
+	for _, c := range schema {
+		if seen[c.Name] {
+			return false
+		}
+		seen[c.Name] = true
+	}
+	return true
+}
+
+func TestViewDDL(t *testing.T) {
+	root := buildPaperPlan(t)
+	sub := ExtractSubqueries(root)[0]
+	ddl := ViewDDL("mv_demo", sub.Root)
+	if !strings.HasPrefix(ddl, "create materialized view mv_demo as\n") {
+		t.Errorf("DDL prefix wrong: %s", ddl)
+	}
+	if !strings.HasSuffix(ddl, ";") {
+		t.Error("DDL should end with a semicolon")
+	}
+}
+
+func TestToSQLDuplicateJoinColumns(t *testing.T) {
+	// Both join sides expose user_id; the rendered select list must
+	// disambiguate and still parse.
+	cat := paperCatalog(t)
+	sql := "select m.user_id, a.user_id from user_memo m inner join user_action a on m.user_id = a.user_id"
+	orig, err := Parse(sql, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := ToSQL(orig)
+	if _, err := Parse(rendered, cat); err != nil {
+		t.Fatalf("rendered duplicate-column SQL does not parse: %v\n%s", err, rendered)
+	}
+}

@@ -1,0 +1,207 @@
+// Package rewrite materializes views on subquery plans and rewrites query
+// plans to scan those views instead of recomputing the subqueries — the
+// "query engine" responsibilities the paper's system relies on (Fig. 3:
+// materialized views feed the query engine which executes the rewritten
+// workload).
+package rewrite
+
+import (
+	"fmt"
+
+	"autoview/internal/catalog"
+	"autoview/internal/engine"
+	"autoview/internal/plan"
+	"autoview/internal/storage"
+)
+
+// View is a materialized view built on a subquery.
+type View struct {
+	ID          string
+	Fingerprint plan.Fingerprint
+	// Plan is the subquery plan the view was built on.
+	Plan *plan.Node
+	// TableName is the backing table in the store.
+	TableName string
+	// Meta is the backing table's schema (not registered in the user
+	// catalog: views live in their own namespace).
+	Meta *catalog.Table
+	// BuildUsage is the metered cost of computing the view's contents;
+	// together with the stored bytes it determines the overhead O_vs
+	// (Definition 3).
+	BuildUsage engine.Usage
+}
+
+// Overhead returns O_vs = Aα(vs) + A_{β,γ}(s) under the pricing
+// (Definition 3).
+func (v *View) Overhead(p engine.Pricing) float64 {
+	return v.BuildUsage.TotalViewOverhead(p)
+}
+
+// Manager materializes and drops views against a store.
+type Manager struct {
+	Store *storage.Store
+	Exec  *engine.Executor
+
+	views map[plan.Fingerprint]*View
+	seq   int
+}
+
+// NewManager returns a manager over the store.
+func NewManager(store *storage.Store) *Manager {
+	return &Manager{
+		Store: store,
+		Exec:  engine.New(store),
+		views: make(map[plan.Fingerprint]*View),
+	}
+}
+
+// Materialize executes the subquery plan and stores its result as a view.
+// Views are keyed by normalized fingerprint, so materializing an
+// equivalent subquery returns the existing view.
+func (m *Manager) Materialize(sub *plan.Node) (*View, error) {
+	fp := plan.NormalizedFingerprint(sub)
+	if v, ok := m.views[fp]; ok {
+		return v, nil
+	}
+	res, usage, err := m.Exec.Execute(sub)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: materialize: %w", err)
+	}
+	m.seq++
+	name := fmt.Sprintf("mv_%d", m.seq)
+	meta := &catalog.Table{
+		Name:    name,
+		Columns: viewColumns(res.Schema),
+		Stats: catalog.TableStats{
+			Rows:    len(res.Rows),
+			Bytes:   res.Bytes(),
+			NumCols: len(res.Schema),
+		},
+	}
+	tbl := storage.NewTable(meta)
+	tbl.Rows = res.Rows
+	m.Store.Put(tbl)
+	v := &View{
+		ID:          name,
+		Fingerprint: fp,
+		Plan:        sub.Clone(),
+		TableName:   name,
+		Meta:        meta,
+		BuildUsage:  usage,
+	}
+	m.views[fp] = v
+	return v, nil
+}
+
+// viewColumns derives catalog columns from a plan schema, disambiguating
+// duplicate names (a join output can expose the same column name twice).
+func viewColumns(schema []plan.ColInfo) []catalog.Column {
+	seen := make(map[string]int, len(schema))
+	cols := make([]catalog.Column, len(schema))
+	for i, c := range schema {
+		name := c.Name
+		if n := seen[name]; n > 0 {
+			name = fmt.Sprintf("%s_%d", name, n+1)
+		}
+		seen[c.Name]++
+		cols[i] = catalog.Column{Name: name, Type: c.Type, Distinct: 0}
+	}
+	return cols
+}
+
+// Drop removes a view's backing table.
+func (m *Manager) Drop(v *View) {
+	m.Store.Drop(v.TableName)
+	delete(m.views, v.Fingerprint)
+}
+
+// DropAll removes every managed view.
+func (m *Manager) DropAll() {
+	for _, v := range m.views {
+		m.Store.Drop(v.TableName)
+	}
+	m.views = make(map[plan.Fingerprint]*View)
+}
+
+// View returns the managed view for a fingerprint.
+func (m *Manager) View(fp plan.Fingerprint) (*View, bool) {
+	v, ok := m.views[fp]
+	return v, ok
+}
+
+// Views returns all managed views.
+func (m *Manager) Views() []*View {
+	out := make([]*View, 0, len(m.views))
+	for _, v := range m.views {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Rewrite returns a copy of root where every occurrence of each view's
+// subquery is replaced by a scan of the view's backing table, plus the
+// number of replacements. Views must be mutually non-overlapping for the
+// result to be well-defined; nested occurrences are rewritten outermost-
+// first, so an inner occurrence that disappears inside an already-replaced
+// subtree is simply not counted.
+func Rewrite(root *plan.Node, views []*View) (*plan.Node, int) {
+	cp := root.Clone()
+	replaced := 0
+	for _, v := range views {
+		replaced += replaceOccurrences(cp, v)
+	}
+	return cp, replaced
+}
+
+// replaceOccurrences rewrites all occurrences of v's fingerprint in the
+// tree (pre-order, skipping descendants of replaced nodes).
+func replaceOccurrences(n *plan.Node, v *View) int {
+	if matchesView(n, v) {
+		toViewScan(n, v)
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += replaceOccurrences(c, v)
+	}
+	return total
+}
+
+// matchesView compares normalized fingerprints, so an occurrence matches
+// even when the query spells the subquery in a different but equivalent
+// form (stacked filters, redundant projections, commuted joins).
+// Normalization preserves the root's output schema, so the in-place
+// replacement below stays type- and position-correct.
+func matchesView(n *plan.Node, v *View) bool {
+	if n.Op == plan.OpScan {
+		return false // already a base-table or view scan
+	}
+	return plan.NormalizedFingerprint(n) == v.Fingerprint
+}
+
+// toViewScan mutates n in place into a scan of the view's table. The
+// original output schema is preserved so parent column indices stay valid.
+func toViewScan(n *plan.Node, v *View) {
+	schema := n.Schema
+	*n = plan.Node{Op: plan.OpScan, Table: v.TableName, Schema: schema}
+}
+
+// Benefit measures B(q,vs) = A(q) - A(q|vs) by executing both the original
+// and the rewritten plan (Definition 4). It returns the benefit in dollars
+// together with both usages. If the view does not occur in q, the benefit
+// is zero and rewritten usage equals the original.
+func Benefit(exec *engine.Executor, root *plan.Node, v *View, p engine.Pricing) (float64, engine.Usage, engine.Usage, error) {
+	origUsage, err := exec.Cost(root)
+	if err != nil {
+		return 0, engine.Usage{}, engine.Usage{}, err
+	}
+	rewritten, nrepl := Rewrite(root, []*View{v})
+	if nrepl == 0 {
+		return 0, origUsage, origUsage, nil
+	}
+	rwUsage, err := exec.Cost(rewritten)
+	if err != nil {
+		return 0, engine.Usage{}, engine.Usage{}, err
+	}
+	return origUsage.Cost(p) - rwUsage.Cost(p), origUsage, rwUsage, nil
+}

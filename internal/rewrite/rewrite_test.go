@@ -1,0 +1,308 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"autoview/internal/catalog"
+	"autoview/internal/engine"
+	"autoview/internal/plan"
+	"autoview/internal/storage"
+)
+
+func testEnv(t *testing.T) (*catalog.Catalog, *storage.Store) {
+	t.Helper()
+	cat := catalog.New()
+	for _, tb := range []*catalog.Table{
+		{
+			Name: "user_memo",
+			Columns: []catalog.Column{
+				{Name: "user_id", Type: catalog.TypeInt, Distinct: 40},
+				{Name: "memo", Type: catalog.TypeString, Distinct: 20},
+				{Name: "memo_type", Type: catalog.TypeString, Distinct: 4},
+				{Name: "dt", Type: catalog.TypeString, Distinct: 5},
+			},
+			Stats: catalog.TableStats{Rows: 400},
+		},
+		{
+			Name: "user_action",
+			Columns: []catalog.Column{
+				{Name: "user_id", Type: catalog.TypeInt, Distinct: 40},
+				{Name: "action", Type: catalog.TypeString, Distinct: 10},
+				{Name: "type", Type: catalog.TypeInt, Distinct: 3},
+				{Name: "dt", Type: catalog.TypeString, Distinct: 5},
+			},
+			Stats: catalog.TableStats{Rows: 600},
+		},
+	} {
+		if err := cat.Add(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat, storage.Populate(cat, rand.New(rand.NewSource(11)))
+}
+
+const exampleSQL = `select t1.user_id, count(*) as cnt
+from ( select user_id, memo from user_memo where dt='v1' and memo_type = 'v2' ) t1
+inner join ( select user_id, action from user_action where type = 1 and dt='v1' ) t2
+on t1.user_id = t2.user_id group by t1.user_id`
+
+func TestMaterializeAndRewritePreservesResults(t *testing.T) {
+	cat, st := testEnv(t)
+	root, err := plan.Parse(exampleSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := engine.New(st)
+	orig, origUsage, err := exec.Execute(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mgr := NewManager(st)
+	subs := plan.ExtractSubqueries(root)
+	if len(subs) != 3 {
+		t.Fatalf("want 3 subqueries, got %d", len(subs))
+	}
+	for _, s := range subs {
+		v, err := mgr.Materialize(s.Root)
+		if err != nil {
+			t.Fatalf("materialize: %v", err)
+		}
+		rw, nrepl := Rewrite(root, []*View{v})
+		if nrepl != 1 {
+			t.Fatalf("view %s: want 1 replacement, got %d", v.ID, nrepl)
+		}
+		got, rwUsage, err := exec.Execute(rw)
+		if err != nil {
+			t.Fatalf("execute rewritten: %v", err)
+		}
+		assertSameResult(t, orig, got)
+		if rwUsage.CPUOps >= origUsage.CPUOps {
+			t.Errorf("view %s: rewritten CPU %d >= original %d", v.ID, rwUsage.CPUOps, origUsage.CPUOps)
+		}
+	}
+}
+
+func assertSameResult(t *testing.T, a, b *engine.Result) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	// Results are sets (group-by output order may differ); compare as
+	// multisets keyed on rendered rows.
+	count := map[string]int{}
+	render := func(r storage.Row) string {
+		s := ""
+		for _, v := range r {
+			s += v.String() + "|"
+		}
+		return s
+	}
+	for _, r := range a.Rows {
+		count[render(r)]++
+	}
+	for _, r := range b.Rows {
+		count[render(r)]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("row multiset differs at %s (delta %d)", k, c)
+		}
+	}
+}
+
+func TestRewriteBothLeaves(t *testing.T) {
+	cat, st := testEnv(t)
+	root, err := plan.Parse(exampleSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(st)
+	subs := plan.ExtractSubqueries(root)
+	var leaves []*View
+	for _, s := range subs {
+		if s.Root.Op == plan.OpProject {
+			v, err := mgr.Materialize(s.Root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves = append(leaves, v)
+		}
+	}
+	if len(leaves) != 2 {
+		t.Fatalf("want 2 project views, got %d", len(leaves))
+	}
+	rw, n := Rewrite(root, leaves)
+	if n != 2 {
+		t.Fatalf("want 2 replacements, got %d", n)
+	}
+	exec := engine.New(st)
+	orig, _, err := exec.Execute(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := exec.Execute(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, orig, got)
+}
+
+func TestNestedViewOutermostWins(t *testing.T) {
+	cat, st := testEnv(t)
+	root, err := plan.Parse(exampleSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(st)
+	subs := plan.ExtractSubqueries(root)
+	var join, proj *View
+	for _, s := range subs {
+		v, err := mgr.Materialize(s.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Root.Op == plan.OpJoin {
+			join = v
+		} else if proj == nil {
+			proj = v
+		}
+	}
+	// Rewriting with the join view first consumes the projects beneath.
+	rw, n := Rewrite(root, []*View{join, proj})
+	if n != 1 {
+		t.Fatalf("want 1 replacement (outermost), got %d", n)
+	}
+	exec := engine.New(st)
+	orig, _, err := exec.Execute(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := exec.Execute(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, orig, got)
+}
+
+func TestMaterializeIdempotent(t *testing.T) {
+	cat, st := testEnv(t)
+	root, err := plan.Parse(exampleSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(st)
+	sub := plan.ExtractSubqueries(root)[0]
+	v1, err := mgr.Materialize(sub.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := mgr.Materialize(sub.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Error("second Materialize should return the same view")
+	}
+	if len(mgr.Views()) != 1 {
+		t.Errorf("manager holds %d views, want 1", len(mgr.Views()))
+	}
+}
+
+func TestDropRemovesBackingTable(t *testing.T) {
+	cat, st := testEnv(t)
+	root, err := plan.Parse(exampleSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(st)
+	sub := plan.ExtractSubqueries(root)[0]
+	v, err := mgr.Materialize(sub.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(v.TableName); !ok {
+		t.Fatal("backing table missing after materialize")
+	}
+	mgr.Drop(v)
+	if _, ok := st.Get(v.TableName); ok {
+		t.Error("backing table still present after drop")
+	}
+	if _, ok := mgr.View(v.Fingerprint); ok {
+		t.Error("view still registered after drop")
+	}
+}
+
+func TestBenefitPositiveAndZero(t *testing.T) {
+	cat, st := testEnv(t)
+	root, err := plan.Parse(exampleSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := engine.New(st)
+	p := engine.DefaultPricing()
+	mgr := NewManager(st)
+	subs := plan.ExtractSubqueries(root)
+	for _, s := range subs {
+		v, err := mgr.Materialize(s.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, _, err := Benefit(exec, root, v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b <= 0 {
+			t.Errorf("view %s: benefit %v, want positive", v.ID, b)
+		}
+	}
+	// A view over an unrelated query has zero benefit.
+	other, err := plan.Parse("select user_id from user_memo where dt='v3'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherView, err := mgr.Materialize(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _, err := Benefit(exec, root, otherView, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 {
+		t.Errorf("unrelated view benefit = %v, want 0", b)
+	}
+}
+
+func TestViewColumnsDisambiguation(t *testing.T) {
+	schema := []plan.ColInfo{
+		{Name: "user_id", Type: catalog.TypeInt},
+		{Name: "user_id", Type: catalog.TypeInt},
+		{Name: "x", Type: catalog.TypeString},
+	}
+	cols := viewColumns(schema)
+	if cols[0].Name != "user_id" || cols[1].Name != "user_id_2" || cols[2].Name != "x" {
+		t.Errorf("viewColumns = %+v", cols)
+	}
+}
+
+func TestViewOverhead(t *testing.T) {
+	cat, st := testEnv(t)
+	root, err := plan.Parse(exampleSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(st)
+	v, err := mgr.Materialize(plan.ExtractSubqueries(root)[0].Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultPricing()
+	if v.Overhead(p) <= 0 {
+		t.Error("overhead should be positive")
+	}
+	if v.Overhead(p) != v.BuildUsage.TotalViewOverhead(p) {
+		t.Error("Overhead should match BuildUsage.TotalViewOverhead")
+	}
+}

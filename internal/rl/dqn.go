@@ -1,0 +1,279 @@
+// Package rl implements the paper's reinforcement-learning view selection
+// (Section V-B): the iterative ILP optimization is cast as an MDP whose
+// state is e=⟨Z,Y⟩, whose actions flip one z_j, whose environment is the
+// Y-Opt ILP solver, and whose reward is the utility change. A DQN with
+// four fully connected layers (16, 64, 16, 1 neurons, ReLU) predicts
+// Q(e,a); RLView (Algorithm 2) initializes from IterView and fine-tunes
+// the network online from an experience-replay memory.
+package rl
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"autoview/internal/mvs"
+	"autoview/internal/nn"
+)
+
+// FeatureDim is the width of the per-action (e,a) feature vector fed to
+// the Q-network. The paper's tiny layer sizes (16-64-16-1) imply a compact
+// featurized input rather than raw |Z|+|Q|·|Z| bits; we encode the action's
+// view statistics plus global state summaries.
+const FeatureDim = 10
+
+// Features computes the (e, a_j) input for every action j. st/bcur
+// describe the current state; in supplies the constants.
+func Features(in *mvs.Instance, st *mvs.State, bcur []float64, bmax []float64, omax, bmaxSum float64) [][]float64 {
+	nv := in.NumViews()
+	var ocur, bcurSum float64
+	selected := 0
+	for j, z := range st.Z {
+		if z {
+			ocur += in.Overhead[j]
+			selected++
+		}
+		bcurSum += bcur[j]
+	}
+	utility := bcurSum - ocur
+	scale := bmaxSum
+	if scale <= 0 {
+		scale = 1
+	}
+	out := make([][]float64, nv)
+	for j := 0; j < nv; j++ {
+		z := 0.0
+		if st.Z[j] {
+			z = 1
+		}
+		out[j] = []float64{
+			z,
+			safeRatio(in.Overhead[j], omax),
+			safeRatio(bmax[j], bmaxSum),
+			safeRatio(bcur[j], bcurSum),
+			(bmax[j] - in.Overhead[j]) / scale,
+			safeRatio(ocur, omax),
+			safeRatio(bcurSum, bmaxSum),
+			float64(selected) / float64(nv),
+			utility / scale,
+			1, // bias
+		}
+	}
+	return out
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Experience is one replay tuple ⟨e_t, a_t, r_t, e_{t+1}⟩, stored as the
+// per-action feature matrices of both states.
+type Experience struct {
+	State     [][]float64
+	Action    int
+	Reward    float64
+	NextState [][]float64
+	Terminal  bool
+}
+
+// AgentConfig configures the DQN.
+type AgentConfig struct {
+	Gamma     float64 // reward decay rate γ
+	LearnRate float64
+	BatchSize int
+	// MemoryCap bounds the replay buffer; oldest entries are evicted.
+	MemoryCap int
+	// Dueling switches to the dueling architecture (Q = V + A) the
+	// paper cites as reference [42]. Default is the plain four-layer
+	// network of Section V-B2.
+	Dueling bool
+	// TargetSync, when positive, maintains a frozen target network for
+	// the Q-learning bootstrap, synced every TargetSync Learn calls —
+	// the standard DQN stabilization. Zero bootstraps from the online
+	// network, as in the paper's pseudocode.
+	TargetSync int
+	Seed       int64
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.Gamma <= 0 {
+		c.Gamma = 0.9
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.001
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.MemoryCap <= 0 {
+		c.MemoryCap = 50_000
+	}
+	return c
+}
+
+// Agent is the DQN: μ(e,a|θ) implemented with four fully connected layers
+// of 16, 64, 16 and 1 neurons (Section V-B2), or optionally the dueling
+// architecture.
+type Agent struct {
+	// Net is the plain MLP when the default architecture is used (nil
+	// under Dueling); QNet is always the active network.
+	Net  *nn.MLP
+	QNet QNetwork
+	Cfg  AgentConfig
+
+	target     QNetwork // frozen bootstrap target (nil unless TargetSync > 0)
+	learnCalls int
+
+	opt *nn.Adam
+	mem []Experience
+	rng *rand.Rand
+}
+
+// NewAgent allocates an initialized agent.
+func NewAgent(cfg AgentConfig, rng *rand.Rand) *Agent {
+	cfg = cfg.withDefaults()
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	a := &Agent{
+		Cfg: cfg,
+		opt: nn.NewAdam(cfg.LearnRate),
+		rng: rng,
+	}
+	if cfg.Dueling {
+		a.QNet = NewDuelingQ(rng)
+	} else {
+		mq := NewMLPQ(rng).(*mlpQ)
+		a.Net = mq.net
+		a.QNet = mq
+	}
+	if cfg.TargetSync > 0 {
+		a.target = a.QNet.Clone()
+	}
+	a.opt.Clip = 1
+	return a
+}
+
+// Q evaluates μ(e,a|θ) for one action's features.
+func (a *Agent) Q(feat []float64) float64 {
+	y, _ := a.QNet.Forward(feat)
+	return y
+}
+
+// targetQ evaluates the bootstrap network (the frozen target when
+// configured, else the online network).
+func (a *Agent) targetQ(feat []float64) float64 {
+	if a.target != nil {
+		y, _ := a.target.Forward(feat)
+		return y
+	}
+	return a.Q(feat)
+}
+
+// QValues evaluates the Q-vector Q(e) = [μ(e,a_1), ..., μ(e,a_n)].
+func (a *Agent) QValues(feats [][]float64) []float64 {
+	out := make([]float64, len(feats))
+	for j, f := range feats {
+		out[j] = a.Q(f)
+	}
+	return out
+}
+
+// BestAction returns argmax_i Q(e)[i].
+func (a *Agent) BestAction(feats [][]float64) int {
+	best, bestQ := 0, math.Inf(-1)
+	for j, f := range feats {
+		if q := a.Q(f); q > bestQ {
+			best, bestQ = j, q
+		}
+	}
+	return best
+}
+
+// Remember appends an experience, evicting the oldest past capacity.
+func (a *Agent) Remember(e Experience) {
+	a.mem = append(a.mem, e)
+	if len(a.mem) > a.Cfg.MemoryCap {
+		a.mem = a.mem[len(a.mem)-a.Cfg.MemoryCap:]
+	}
+}
+
+// MemoryLen returns the replay buffer size.
+func (a *Agent) MemoryLen() int { return len(a.mem) }
+
+// Memory returns the replay buffer (shared slice; callers must not
+// mutate). Used for persisting the pool to the metadata database.
+func (a *Agent) Memory() []Experience { return a.mem }
+
+// Learn runs one DQN update (the paper's function DQN): sample a batch,
+// compute Q'(e_t,a_t) = r_t + γ·max_i Q(e_{t+1})[i], and minimize the
+// squared error against Q(e_t,a_t). It returns the mean batch loss.
+func (a *Agent) Learn() float64 {
+	if len(a.mem) == 0 {
+		return 0
+	}
+	n := a.Cfg.BatchSize
+	if n > len(a.mem) {
+		n = len(a.mem)
+	}
+	params := a.QNet.Params()
+	nn.ZeroGrads(params)
+	var loss float64
+	for b := 0; b < n; b++ {
+		e := a.mem[a.rng.Intn(len(a.mem))]
+		target := e.Reward
+		if !e.Terminal {
+			best := math.Inf(-1)
+			for _, f := range e.NextState {
+				if q := a.targetQ(f); q > best {
+					best = q
+				}
+			}
+			target += a.Cfg.Gamma * best
+		}
+		y, back := a.QNet.Forward(e.State[e.Action])
+		d := y - target
+		loss += d * d
+		back(2 * d / float64(n))
+	}
+	a.opt.Step(params)
+	a.learnCalls++
+	if a.target != nil && a.learnCalls%a.Cfg.TargetSync == 0 {
+		copyParams(a.target.Params(), a.QNet.Params())
+	}
+	return loss / float64(n)
+}
+
+// Save persists the Q-network weights.
+func (a *Agent) Save(w io.Writer) error {
+	return SaveQNetwork(w, a.QNet)
+}
+
+// Load restores weights saved by Save into an identically configured
+// agent. The target network (when present) syncs to the loaded weights.
+func (a *Agent) Load(r io.Reader) error {
+	if err := LoadQNetwork(r, a.QNet); err != nil {
+		return err
+	}
+	if a.target != nil {
+		copyParams(a.target.Params(), a.QNet.Params())
+	}
+	return nil
+}
+
+// LearnFrom trains offline from an external replay dataset for the given
+// number of updates (the paper's offline DQN training from the metadata
+// database).
+func (a *Agent) LearnFrom(data []Experience, updates int) float64 {
+	saved := a.mem
+	a.mem = data
+	var last float64
+	for i := 0; i < updates; i++ {
+		last = a.Learn()
+	}
+	a.mem = saved
+	return last
+}

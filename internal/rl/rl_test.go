@@ -1,0 +1,441 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"autoview/internal/catalog"
+	"autoview/internal/mvs"
+)
+
+func randomInstance(rng *rand.Rand, nq, nv int) *mvs.Instance {
+	in := &mvs.Instance{
+		Benefit:  make([][]float64, nq),
+		Overhead: make([]float64, nv),
+		Overlap:  make([][]bool, nv),
+	}
+	for j := 0; j < nv; j++ {
+		in.Overhead[j] = rng.Float64()*2 + 0.1
+		in.Overlap[j] = make([]bool, nv)
+	}
+	for j := 0; j < nv; j++ {
+		for k := j + 1; k < nv; k++ {
+			if rng.Float64() < 0.25 {
+				in.Overlap[j][k] = true
+				in.Overlap[k][j] = true
+			}
+		}
+	}
+	for i := 0; i < nq; i++ {
+		in.Benefit[i] = make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			if rng.Float64() < 0.5 {
+				in.Benefit[i][j] = rng.Float64() * 3
+			}
+		}
+	}
+	return in
+}
+
+func TestFeaturesShapeAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := randomInstance(rng, 5, 7)
+	st := mvs.NewState(in)
+	st.Z[0] = true
+	st.Z[3] = true
+	y, bcur := in.BestY(st.Z)
+	st.Y = y
+	bmax := in.MaxBenefits()
+	var omax, bmaxSum float64
+	for _, o := range in.Overhead {
+		omax += o
+	}
+	for _, b := range bmax {
+		bmaxSum += b
+	}
+	feats := Features(in, st, bcur, bmax, omax, bmaxSum)
+	if len(feats) != 7 {
+		t.Fatalf("want 7 action features, got %d", len(feats))
+	}
+	for j, f := range feats {
+		if len(f) != FeatureDim {
+			t.Fatalf("action %d: dim %d, want %d", j, len(f), FeatureDim)
+		}
+		for k, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("action %d feature %d = %v", j, k, v)
+			}
+		}
+		if f[0] != 0 && f[0] != 1 {
+			t.Errorf("z feature should be binary, got %v", f[0])
+		}
+	}
+	if feats[0][0] != 1 || feats[1][0] != 0 {
+		t.Error("z feature does not reflect state")
+	}
+}
+
+func TestAgentNetworkShape(t *testing.T) {
+	a := NewAgent(AgentConfig{}, rand.New(rand.NewSource(2)))
+	// The paper's DQN: four FC layers of 16, 64, 16 and 1 neurons.
+	if len(a.Net.Layers) != 4 {
+		t.Fatalf("want 4 layers, got %d", len(a.Net.Layers))
+	}
+	wantOut := []int{16, 64, 16, 1}
+	for i, l := range a.Net.Layers {
+		if l.OutDim() != wantOut[i] {
+			t.Errorf("layer %d out = %d, want %d", i, l.OutDim(), wantOut[i])
+		}
+	}
+	if a.Net.Layers[0].InDim() != FeatureDim {
+		t.Errorf("input dim %d, want %d", a.Net.Layers[0].InDim(), FeatureDim)
+	}
+}
+
+func TestAgentMemoryEviction(t *testing.T) {
+	a := NewAgent(AgentConfig{MemoryCap: 5}, rand.New(rand.NewSource(3)))
+	for i := 0; i < 12; i++ {
+		a.Remember(Experience{Action: i, State: [][]float64{make([]float64, FeatureDim)}})
+	}
+	if a.MemoryLen() != 5 {
+		t.Fatalf("memory len %d, want 5", a.MemoryLen())
+	}
+	if a.Memory()[0].Action != 7 {
+		t.Errorf("oldest surviving action = %d, want 7", a.Memory()[0].Action)
+	}
+}
+
+func TestAgentLearnsSimpleValue(t *testing.T) {
+	// Two actions with fixed features: action 0 always yields reward 1,
+	// action 1 yields reward 0 (terminal transitions). The learned Q
+	// must separate them.
+	a := NewAgent(AgentConfig{LearnRate: 0.01, BatchSize: 8}, rand.New(rand.NewSource(4)))
+	f0 := make([]float64, FeatureDim)
+	f0[0] = 1
+	f1 := make([]float64, FeatureDim)
+	f1[1] = 1
+	state := [][]float64{f0, f1}
+	for i := 0; i < 40; i++ {
+		a.Remember(Experience{State: state, Action: 0, Reward: 1, NextState: state, Terminal: true})
+		a.Remember(Experience{State: state, Action: 1, Reward: 0, NextState: state, Terminal: true})
+	}
+	for i := 0; i < 300; i++ {
+		a.Learn()
+	}
+	q0, q1 := a.Q(f0), a.Q(f1)
+	if q0 < q1+0.3 {
+		t.Errorf("Q(a0)=%v should clearly exceed Q(a1)=%v", q0, q1)
+	}
+	if a.BestAction(state) != 0 {
+		t.Error("BestAction should pick the rewarding action")
+	}
+}
+
+func TestLearnEmptyMemoryIsNoop(t *testing.T) {
+	a := NewAgent(AgentConfig{}, rand.New(rand.NewSource(5)))
+	if loss := a.Learn(); loss != 0 {
+		t.Errorf("Learn on empty memory = %v, want 0", loss)
+	}
+}
+
+func TestLearnFromRestoresMemory(t *testing.T) {
+	a := NewAgent(AgentConfig{BatchSize: 2}, rand.New(rand.NewSource(6)))
+	a.Remember(Experience{State: [][]float64{make([]float64, FeatureDim)}, Terminal: true})
+	offline := []Experience{
+		{State: [][]float64{make([]float64, FeatureDim)}, Reward: 1, Terminal: true},
+	}
+	a.LearnFrom(offline, 5)
+	if a.MemoryLen() != 1 {
+		t.Errorf("online memory len %d after LearnFrom, want 1", a.MemoryLen())
+	}
+}
+
+func TestRLViewFeasibleAndTraced(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomInstance(rng, 10, 8)
+	res := RLView(in, Options{
+		InitIterations: 5,
+		Epochs:         10,
+		Rand:           rand.New(rand.NewSource(8)),
+	})
+	if res.Best == nil || res.Final == nil {
+		t.Fatal("missing states")
+	}
+	if !in.Feasible(res.Best) || !in.Feasible(res.Final) {
+		t.Error("RLView produced infeasible state")
+	}
+	if math.Abs(in.Utility(res.Best)-res.BestUtility) > 1e-9 {
+		t.Error("BestUtility inconsistent")
+	}
+	if res.Steps == 0 || len(res.Trace) < res.Steps {
+		t.Errorf("steps=%d trace=%d", res.Steps, len(res.Trace))
+	}
+	// Each episode runs at least |Z| steps (Algorithm 2's while
+	// condition), so 10 epochs give at least 80 steps.
+	if res.Steps < 80 {
+		t.Errorf("steps = %d, want >= 80", res.Steps)
+	}
+}
+
+func TestRLViewNotWorseThanWarmStartAndNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := randomInstance(rng, 12, 8)
+	opt := mvs.Optimal(in, 0)
+	warm := mvs.IterView(in, mvs.IterOptions{Iterations: 10, Rand: rand.New(rand.NewSource(10))})
+	res := RLView(in, Options{
+		InitIterations: 10,
+		Epochs:         30,
+		Rand:           rand.New(rand.NewSource(10)),
+	})
+	if res.BestUtility < warm.BestUtility-1e-9 {
+		t.Errorf("RLView best %v below its own warm start %v", res.BestUtility, warm.BestUtility)
+	}
+	if res.BestUtility > opt.Utility+1e-9 {
+		t.Fatalf("RLView best %v exceeds optimum %v", res.BestUtility, opt.Utility)
+	}
+	if res.BestUtility < 0.6*opt.Utility {
+		t.Errorf("RLView best %v far below optimum %v", res.BestUtility, opt.Utility)
+	}
+}
+
+func TestRLViewStabilizesRelativeToIterView(t *testing.T) {
+	// Figure 10's qualitative claim: late-run utilities fluctuate less
+	// under RLView than under IterView.
+	rng := rand.New(rand.NewSource(11))
+	in := randomInstance(rng, 20, 12)
+	iters := 300
+	iv := mvs.IterView(in, mvs.IterOptions{Iterations: iters, Rand: rand.New(rand.NewSource(12))})
+	res := RLView(in, Options{
+		InitIterations: 10,
+		Epochs:         20,
+		Rand:           rand.New(rand.NewSource(12)),
+	})
+	ivVar := tailVariance(iv.Trace)
+	rlVar := tailVariance(res.Trace)
+	if rlVar > ivVar {
+		t.Errorf("RLView tail variance %v exceeds IterView %v", rlVar, ivVar)
+	}
+}
+
+func tailVariance(trace []float64) float64 {
+	n := len(trace) / 2
+	tail := trace[len(trace)-n:]
+	var mean float64
+	for _, v := range tail {
+		mean += v
+	}
+	mean /= float64(len(tail))
+	var variance float64
+	for _, v := range tail {
+		d := v - mean
+		variance += d * d
+	}
+	return variance / float64(len(tail))
+}
+
+func TestRLViewPretrainedAgentReused(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in := randomInstance(rng, 6, 6)
+	agent := NewAgent(AgentConfig{}, rand.New(rand.NewSource(14)))
+	res := RLView(in, Options{
+		InitIterations: 3,
+		Epochs:         3,
+		Pretrained:     agent,
+		Rand:           rand.New(rand.NewSource(15)),
+	})
+	if res.Agent != agent {
+		t.Error("pretrained agent was not reused")
+	}
+	if agent.MemoryLen() == 0 {
+		t.Error("online run should populate the replay memory")
+	}
+}
+
+func TestAgentSaveLoad(t *testing.T) {
+	a := NewAgent(AgentConfig{}, rand.New(rand.NewSource(20)))
+	feat := make([]float64, FeatureDim)
+	feat[0] = 1
+	want := a.Q(feat)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewAgent(AgentConfig{}, rand.New(rand.NewSource(21)))
+	if b.Q(feat) == want {
+		t.Fatal("fresh agent accidentally matches; test vacuous")
+	}
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Q(feat); got != want {
+		t.Errorf("Q after load = %v, want %v", got, want)
+	}
+}
+
+func TestDuelingAgentLearns(t *testing.T) {
+	a := NewAgent(AgentConfig{Dueling: true, LearnRate: 0.01, BatchSize: 8}, rand.New(rand.NewSource(30)))
+	if a.Net != nil {
+		t.Fatal("dueling agent should not expose the plain MLP")
+	}
+	f0 := make([]float64, FeatureDim)
+	f0[0] = 1
+	f1 := make([]float64, FeatureDim)
+	f1[1] = 1
+	state := [][]float64{f0, f1}
+	for i := 0; i < 40; i++ {
+		a.Remember(Experience{State: state, Action: 0, Reward: 1, NextState: state, Terminal: true})
+		a.Remember(Experience{State: state, Action: 1, Reward: 0, NextState: state, Terminal: true})
+	}
+	for i := 0; i < 400; i++ {
+		a.Learn()
+	}
+	if a.Q(f0) < a.Q(f1)+0.3 {
+		t.Errorf("dueling Q(a0)=%v should exceed Q(a1)=%v", a.Q(f0), a.Q(f1))
+	}
+}
+
+func TestTargetNetworkSync(t *testing.T) {
+	a := NewAgent(AgentConfig{TargetSync: 3, LearnRate: 0.05, BatchSize: 4}, rand.New(rand.NewSource(31)))
+	if a.target == nil {
+		t.Fatal("target network missing")
+	}
+	f := make([]float64, FeatureDim)
+	f[0] = 1
+	a.Remember(Experience{State: [][]float64{f}, Action: 0, Reward: 1, NextState: [][]float64{f}})
+	// Before any sync the target diverges from the online net after
+	// learning; after TargetSync calls they coincide.
+	a.Learn()
+	if a.Q(f) == a.targetQ(f) {
+		t.Fatal("target should lag the online network after one update")
+	}
+	a.Learn()
+	a.Learn() // third call triggers the sync
+	if a.Q(f) != a.targetQ(f) {
+		t.Errorf("target not synced: online %v, target %v", a.Q(f), a.targetQ(f))
+	}
+}
+
+func TestDuelingGradients(t *testing.T) {
+	d := NewDuelingQ(rand.New(rand.NewSource(32))).(*DuelingQ)
+	feat := make([]float64, FeatureDim)
+	for i := range feat {
+		feat[i] = 0.1 * float64(i%5)
+	}
+	loss := func() float64 {
+		y, _ := d.Forward(feat)
+		return y * y
+	}
+	for _, p := range d.Params() {
+		p.ZeroGrad()
+	}
+	y, back := d.Forward(feat)
+	back(2 * y)
+	const eps = 1e-6
+	for _, p := range d.Params() {
+		for i := range p.Val {
+			orig := p.Val[i]
+			p.Val[i] = orig + eps
+			lp := loss()
+			p.Val[i] = orig - eps
+			lm := loss()
+			p.Val[i] = orig
+			want := (lp - lm) / (2 * eps)
+			if math.Abs(p.Grad[i]-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("%s grad[%d] = %g, want %g", p, i, p.Grad[i], want)
+			}
+		}
+	}
+}
+
+func TestOfflineTrainRoundTrip(t *testing.T) {
+	// Collect experiences online, persist to the metadata DB, train an
+	// agent offline, and verify it learned the same preference.
+	db := catalog.NewMetadataDB()
+	src := NewAgent(AgentConfig{}, rand.New(rand.NewSource(33)))
+	f0 := make([]float64, FeatureDim)
+	f0[0] = 1
+	f1 := make([]float64, FeatureDim)
+	f1[1] = 1
+	state := [][]float64{f0, f1}
+	for i := 0; i < 30; i++ {
+		src.Remember(Experience{State: state, Action: 0, Reward: 1, NextState: state, Terminal: true})
+		src.Remember(Experience{State: state, Action: 1, Reward: 0, NextState: state, Terminal: true})
+	}
+	src.PersistMemory(db)
+	_, ne := db.Counts()
+	if ne != 60 {
+		t.Fatalf("persisted %d experiences, want 60", ne)
+	}
+	agent, err := OfflineTrain(db, AgentConfig{LearnRate: 0.01, BatchSize: 8}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agent.BestAction(state) != 0 {
+		t.Error("offline-trained agent did not learn the preference")
+	}
+	if agent.MemoryLen() != 0 {
+		t.Error("offline training should not leave the online memory populated")
+	}
+}
+
+func TestOfflineTrainErrors(t *testing.T) {
+	if _, err := OfflineTrain(catalog.NewMetadataDB(), AgentConfig{}, 5); err == nil {
+		t.Error("empty metadata DB should error")
+	}
+	bad := catalog.NewMetadataDB()
+	bad.AddExperience(catalog.Experience{State: []float64{1, 2, 3}}) // not a multiple of FeatureDim
+	if _, err := OfflineTrain(bad, AgentConfig{}, 5); err == nil {
+		t.Error("malformed state should error")
+	}
+}
+
+func TestMetadataRoundTripPreservesExperience(t *testing.T) {
+	e := Experience{
+		State:     [][]float64{seq(0), seq(10)},
+		Action:    1,
+		Reward:    0.25,
+		NextState: [][]float64{seq(20), seq(30)},
+		Terminal:  true,
+	}
+	got, err := FromMetadata(ToMetadata(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Action != 1 || got.Reward != 0.25 || !got.Terminal {
+		t.Errorf("scalar fields lost: %+v", got)
+	}
+	for i := range e.State {
+		for j := range e.State[i] {
+			if got.State[i][j] != e.State[i][j] || got.NextState[i][j] != e.NextState[i][j] {
+				t.Fatal("feature matrices differ after round trip")
+			}
+		}
+	}
+}
+
+func seq(base float64) []float64 {
+	out := make([]float64, FeatureDim)
+	for i := range out {
+		out[i] = base + float64(i)
+	}
+	return out
+}
+
+func TestRLViewDuelingVariantRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	in := randomInstance(rng, 8, 6)
+	res := RLView(in, Options{
+		InitIterations: 3,
+		Epochs:         5,
+		Agent:          AgentConfig{Dueling: true, TargetSync: 8},
+		Rand:           rand.New(rand.NewSource(35)),
+	})
+	if !in.Feasible(res.Best) {
+		t.Error("dueling RLView produced infeasible state")
+	}
+	if res.BestUtility <= 0 {
+		t.Errorf("dueling RLView best utility %v", res.BestUtility)
+	}
+}

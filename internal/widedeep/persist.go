@@ -1,0 +1,53 @@
+package widedeep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"autoview/internal/featenc"
+	"autoview/internal/nn"
+)
+
+// snapshot is the on-disk form of a trained model: scaling state plus the
+// parameter blob. The architecture itself is reconstructed by the caller
+// (New with the same vocabulary and Config — both deterministic), keeping
+// the format simple and forward-compatible.
+type snapshot struct {
+	YMean  float64             `json:"y_mean"`
+	YStd   float64             `json:"y_std"`
+	Norm   *featenc.Normalizer `json:"normalizer"`
+	Params json.RawMessage     `json:"params"`
+}
+
+// Save persists the trained model's weights and scaling state.
+func (m *Model) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, m.Params()); err != nil {
+		return err
+	}
+	snap := snapshot{YMean: m.yMean, YStd: m.yStd, Norm: m.Norm, Params: buf.Bytes()}
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("widedeep: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores weights saved by Save into a model built with the same
+// vocabulary and Config.
+func (m *Model) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("widedeep: load: %w", err)
+	}
+	if err := nn.LoadParams(bytes.NewReader(snap.Params), m.Params()); err != nil {
+		return err
+	}
+	m.yMean, m.yStd = snap.YMean, snap.YStd
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+	m.Norm = snap.Norm
+	return nil
+}
