@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test test-race bench bench-train vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages that run concurrent training:
+# the nn.Trainer worker pool, core's parallel benefit measurement, and
+# rl's replay-batch Q-updates. Short mode keeps it CI-friendly.
+test-race:
+	$(GO) test -race -short ./internal/nn/... ./internal/core/... ./internal/rl/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Just the data-parallel trainer micro-benchmark (serial vs parallel).
+bench-train:
+	$(GO) test -bench=BenchmarkNNTrainStep -run=^$$ .
+
+vet:
+	$(GO) vet ./...

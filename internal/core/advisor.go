@@ -307,7 +307,11 @@ func (a *Advisor) wideDeepBenefits(p *Problem, pairs []pairKey, assocIndex map[i
 	if len(samples) == 0 {
 		return fmt.Errorf("core: no W-D training pairs (workload too small?)")
 	}
-	if _, err := model.Fit(samples, a.Cfg.WDTrain); err != nil {
+	trainCfg := a.Cfg.WDTrain
+	if trainCfg.Parallelism == 0 {
+		trainCfg.Parallelism = a.Cfg.Parallelism
+	}
+	if _, err := model.Fit(samples, trainCfg); err != nil {
 		return err
 	}
 	p.Model = model
@@ -369,6 +373,9 @@ func (a *Advisor) Select(p *Problem) *Selection {
 	case SelectorRLView:
 		opts := a.Cfg.RL
 		opts.Rand = rng
+		if opts.Agent.Parallelism == 0 {
+			opts.Agent.Parallelism = a.Cfg.Parallelism
+		}
 		// Offline training: when the metadata database already holds
 		// replay experiences (from earlier runs), pretrain the DQN on
 		// them and fine-tune online (Algorithm 2's DQN-offline path).

@@ -111,6 +111,14 @@ type Config struct {
 	// experiences are persisted back to the metadata database either way.
 	RLPretrainUpdates int
 
+	// Parallelism is the number of data-parallel workers every neural
+	// training loop (W-D Algorithm 1, DQN replay updates) shards its
+	// mini-batches across. 0 selects runtime.NumCPU(); 1 runs serially.
+	// Gradients are reduced in sample order, so results are bit-for-bit
+	// identical for every setting. Per-stage settings (WDTrain, RL.Agent)
+	// take precedence when non-zero.
+	Parallelism int
+
 	Seed int64
 }
 

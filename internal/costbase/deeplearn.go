@@ -23,6 +23,10 @@ type DeepLearn struct {
 	Epochs  int
 	LR      float64
 	Seed    int64
+	// Parallelism is the number of data-parallel training workers per
+	// mini-batch (nn.Trainer). 0 selects runtime.NumCPU(); 1 runs
+	// serially. Results are bit-for-bit identical for every setting.
+	Parallelism int
 
 	enc   *featenc.Encoder
 	head  *nn.MLP
@@ -98,6 +102,24 @@ func (d *DeepLearn) Fit(train []Sample) error {
 	params := append(d.enc.Params(), d.head.Params()...)
 	opt := nn.NewAdam(d.LR)
 	opt.Clip = 5
+
+	// Data-parallel mini-batch gradients over per-worker replicas of the
+	// encoder and head (shared weights, private gradients).
+	var cur []int
+	var n float64
+	trainer := nn.NewTrainer(params, d.Parallelism, func() ([]*nn.Param, nn.SampleFunc) {
+		enc, head := d.enc.ShareWeights(), d.head.ShareWeights()
+		run := func(i int) float64 {
+			s := data[cur[i]]
+			pred, back := d.forwardWith(enc, head, s.seq, s.numeric)
+			target := (s.y - d.yMean) / d.yStd
+			delta := pred - target
+			back(2 * delta / n)
+			return delta * delta
+		}
+		return append(enc.Params(), head.Params()...), run
+	})
+
 	idx := make([]int, len(data))
 	for i := range idx {
 		idx[i] = i
@@ -110,14 +132,9 @@ func (d *DeepLearn) Fit(train []Sample) error {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			nn.ZeroGrads(params)
-			n := float64(end - start)
-			for _, i := range idx[start:end] {
-				s := data[i]
-				pred, back := d.forward(s.seq, s.numeric)
-				target := (s.y - d.yMean) / d.yStd
-				back(2 * (pred - target) / n)
-			}
+			cur = idx[start:end]
+			n = float64(end - start)
+			trainer.Step(end - start)
 			opt.Step(params)
 		}
 	}
@@ -129,10 +146,16 @@ func keywordsOf(p *plan.Node) []string {
 }
 
 func (d *DeepLearn) forward(seq [][]plan.Tok, numeric []float64) (float64, func(dy float64)) {
-	de, bPlan := d.enc.EncodePlan(seq)
+	return d.forwardWith(d.enc, d.head, seq, numeric)
+}
+
+// forwardWith runs the forward pass through the given encoder and head —
+// the canonical ones or a worker replica sharing their weights.
+func (d *DeepLearn) forwardWith(enc *featenc.Encoder, head *nn.MLP, seq [][]plan.Tok, numeric []float64) (float64, func(dy float64)) {
+	de, bPlan := enc.EncodePlan(seq)
 	dc := d.norm.Apply(numeric)
 	x := nn.Concat(de, dc)
-	y, bHead := d.head.Forward(x)
+	y, bHead := head.Forward(x)
 	back := func(dy float64) {
 		dx := bHead(nn.Vec{dy})
 		parts := nn.SplitBackward(dx, len(de), len(dc))

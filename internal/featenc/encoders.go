@@ -62,6 +62,16 @@ func (s *StringEncoder) Params() []*nn.Param {
 	return nn.CollectParams(s.CharEmb, s.Block1, s.Block2)
 }
 
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers, for data-parallel training (see nn.Trainer).
+func (s *StringEncoder) ShareWeights() *StringEncoder {
+	return &StringEncoder{
+		CharEmb: s.CharEmb.ShareWeights(),
+		Block1:  s.Block1.ShareWeights(),
+		Block2:  s.Block2.ShareWeights(),
+	}
+}
+
 // Dim returns the output width.
 func (s *StringEncoder) Dim() int { return s.CharEmb.Dim() }
 
@@ -151,6 +161,28 @@ func (e *Encoder) Params() []*nn.Param {
 		out = append(out, e.LSTM2.Params()...)
 	}
 	return out
+}
+
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers, in the same parameter order as the original. The
+// vocabulary and configuration are shared (both immutable after
+// construction), so replicas encode identically to the original while
+// accumulating gradients independently.
+func (e *Encoder) ShareWeights() *Encoder {
+	cp := *e
+	if e.KwEmb != nil {
+		cp.KwEmb = e.KwEmb.ShareWeights()
+	}
+	if e.Str != nil {
+		cp.Str = e.Str.ShareWeights()
+	}
+	if e.LSTM1 != nil {
+		cp.LSTM1 = e.LSTM1.ShareWeights()
+	}
+	if e.LSTM2 != nil {
+		cp.LSTM2 = e.LSTM2.ShareWeights()
+	}
+	return &cp
 }
 
 // TokenDim is the uniform width token encodings are padded to.

@@ -5,6 +5,105 @@ import (
 	"math/rand"
 )
 
+// MatBackward propagates matrix-shaped gradients.
+type MatBackward func(dy []Vec) []Vec
+
+const bnEps = 1e-5
+
+// BatchNorm normalizes a matrix over all its elements with a learned
+// scale and shift: y = γ·(x-μ)/√(σ²+ε) + β. It is the single-channel
+// BatchNorm2d of the paper's String Encoding model, computed with
+// per-sample (instance) statistics.
+type BatchNorm struct {
+	Gamma *Param
+	Beta  *Param
+}
+
+// NewBatchNorm allocates a unit-scale, zero-shift normalizer.
+func NewBatchNorm(name string) *BatchNorm {
+	bn := &BatchNorm{
+		Gamma: NewParam(name+".gamma", 1, 1),
+		Beta:  NewParam(name+".beta", 1, 1),
+	}
+	bn.Gamma.Val[0] = 1
+	return bn
+}
+
+// Params implements Module.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers.
+func (bn *BatchNorm) ShareWeights() *BatchNorm {
+	return &BatchNorm{Gamma: bn.Gamma.GradView(), Beta: bn.Beta.GradView()}
+}
+
+// Forward normalizes the matrix, preserving its shape.
+func (bn *BatchNorm) Forward(m []Vec) ([]Vec, MatBackward) {
+	T := len(m)
+	if T == 0 {
+		return nil, func(dy []Vec) []Vec { return nil }
+	}
+	D := len(m[0])
+	n := float64(T * D)
+	var mu float64
+	for t := range m {
+		for _, v := range m[t] {
+			mu += v
+		}
+	}
+	mu /= n
+	var variance float64
+	for t := range m {
+		for _, v := range m[t] {
+			dv := v - mu
+			variance += dv * dv
+		}
+	}
+	variance /= n
+	std := math.Sqrt(variance + bnEps)
+	gamma, beta := bn.Gamma.Val[0], bn.Beta.Val[0]
+
+	xhat := make([]Vec, T)
+	out := make([]Vec, T)
+	for t := 0; t < T; t++ {
+		xhat[t] = zeros(D)
+		out[t] = zeros(D)
+		for d := 0; d < D; d++ {
+			xh := (m[t][d] - mu) / std
+			xhat[t][d] = xh
+			out[t][d] = gamma*xh + beta
+		}
+	}
+
+	back := func(dy []Vec) []Vec {
+		var dGamma, dBeta, sumDxhat, sumDxhatXhat float64
+		dXhat := make([]Vec, T)
+		for t := 0; t < T; t++ {
+			dXhat[t] = zeros(D)
+			for d := 0; d < D; d++ {
+				dGamma += dy[t][d] * xhat[t][d]
+				dBeta += dy[t][d]
+				dx := dy[t][d] * gamma
+				dXhat[t][d] = dx
+				sumDxhat += dx
+				sumDxhatXhat += dx * xhat[t][d]
+			}
+		}
+		bn.Gamma.Grad[0] += dGamma
+		bn.Beta.Grad[0] += dBeta
+		dm := make([]Vec, T)
+		for t := 0; t < T; t++ {
+			dm[t] = zeros(D)
+			for d := 0; d < D; d++ {
+				dm[t][d] = (dXhat[t][d] - sumDxhat/n - xhat[t][d]*sumDxhatXhat/n) / std
+			}
+		}
+		return dm
+	}
+	return out, back
+}
+
 // ConvBlock is one convolution block of the paper's String Encoding model:
 // Conv2d (3×1 kernel, single channel, zero padding) → BatchNorm2d → ReLU.
 // Inputs are matrices represented as slices of equal-length row vectors
@@ -13,29 +112,26 @@ import (
 type ConvBlock struct {
 	// K holds the 3 kernel weights plus bias [1 x 4].
 	K *Param
-	// Gamma/Beta are the batch-norm scale and shift (single channel).
-	Gamma *Param
-	Beta  *Param
+	// BN is the single-channel batch normalization.
+	BN *BatchNorm
 }
 
 // NewConvBlock allocates an initialized block.
 func NewConvBlock(name string, rng *rand.Rand) *ConvBlock {
-	b := &ConvBlock{
-		K:     NewParam(name+".k", 1, 4).InitXavier(rng),
-		Gamma: NewParam(name+".gamma", 1, 1),
-		Beta:  NewParam(name+".beta", 1, 1),
+	return &ConvBlock{
+		K:  NewParam(name+".k", 1, 4).InitXavier(rng),
+		BN: NewBatchNorm(name),
 	}
-	b.Gamma.Val[0] = 1
-	return b
 }
 
 // Params implements Module.
-func (b *ConvBlock) Params() []*Param { return []*Param{b.K, b.Gamma, b.Beta} }
+func (b *ConvBlock) Params() []*Param { return []*Param{b.K, b.BN.Gamma, b.BN.Beta} }
 
-// MatBackward propagates matrix-shaped gradients.
-type MatBackward func(dy []Vec) []Vec
-
-const bnEps = 1e-5
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers.
+func (b *ConvBlock) ShareWeights() *ConvBlock {
+	return &ConvBlock{K: b.K.GradView(), BN: b.BN.ShareWeights()}
+}
 
 // Forward applies conv → norm → relu, preserving the matrix shape.
 func (b *ConvBlock) Forward(m []Vec) ([]Vec, MatBackward) {
@@ -62,37 +158,12 @@ func (b *ConvBlock) Forward(m []Vec) ([]Vec, MatBackward) {
 		}
 	}
 
-	// Per-sample normalization over all elements (BatchNorm2d with a
-	// single channel, instance statistics at inference scale).
-	n := float64(T * D)
-	var mu float64
-	for t := range conv {
-		for _, v := range conv[t] {
-			mu += v
-		}
-	}
-	mu /= n
-	var variance float64
-	for t := range conv {
-		for _, v := range conv[t] {
-			dv := v - mu
-			variance += dv * dv
-		}
-	}
-	variance /= n
-	std := math.Sqrt(variance + bnEps)
-	gamma, beta := b.Gamma.Val[0], b.Beta.Val[0]
-
-	xhat := make([]Vec, T)
+	norm, bnBack := b.BN.Forward(conv)
 	out := make([]Vec, T)
 	for t := 0; t < T; t++ {
-		xhat[t] = zeros(D)
 		out[t] = zeros(D)
 		for d := 0; d < D; d++ {
-			xh := (conv[t][d] - mu) / std
-			xhat[t][d] = xh
-			y := gamma*xh + beta
-			if y > 0 {
+			if y := norm[t][d]; y > 0 {
 				out[t][d] = y
 			}
 		}
@@ -104,34 +175,12 @@ func (b *ConvBlock) Forward(m []Vec) ([]Vec, MatBackward) {
 		for t := 0; t < T; t++ {
 			dNorm[t] = zeros(D)
 			for d := 0; d < D; d++ {
-				if gamma*xhat[t][d]+beta > 0 {
+				if norm[t][d] > 0 {
 					dNorm[t][d] = dy[t][d]
 				}
 			}
 		}
-		// BatchNorm backward.
-		var dGamma, dBeta, sumDxhat, sumDxhatXhat float64
-		dXhat := make([]Vec, T)
-		for t := 0; t < T; t++ {
-			dXhat[t] = zeros(D)
-			for d := 0; d < D; d++ {
-				dGamma += dNorm[t][d] * xhat[t][d]
-				dBeta += dNorm[t][d]
-				dx := dNorm[t][d] * gamma
-				dXhat[t][d] = dx
-				sumDxhat += dx
-				sumDxhatXhat += dx * xhat[t][d]
-			}
-		}
-		b.Gamma.Grad[0] += dGamma
-		b.Beta.Grad[0] += dBeta
-		dConv := make([]Vec, T)
-		for t := 0; t < T; t++ {
-			dConv[t] = zeros(D)
-			for d := 0; d < D; d++ {
-				dConv[t][d] = (dXhat[t][d] - sumDxhat/n - xhat[t][d]*sumDxhatXhat/n) / std
-			}
-		}
+		dConv := bnBack(dNorm)
 		// Convolution backward.
 		dm := make([]Vec, T)
 		for t := 0; t < T; t++ {

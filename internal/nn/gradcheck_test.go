@@ -1,0 +1,203 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Finite-difference gradient checks for the three structured layers
+// (ConvBlock, LSTMCell, BatchNorm), table-driven over shapes: every
+// parameter is perturbed by ±fdEps and the analytic gradient must match
+// the central difference within fdTol relative error.
+const (
+	fdEps = 1e-5
+	fdTol = 1e-4
+)
+
+// fdCheckParams compares analytic parameter gradients (already
+// accumulated in params) against central finite differences of forward.
+func fdCheckParams(t *testing.T, params []*Param, forward func() float64) {
+	t.Helper()
+	for _, p := range params {
+		for i := range p.Val {
+			orig := p.Val[i]
+			p.Val[i] = orig + fdEps
+			lp := forward()
+			p.Val[i] = orig - fdEps
+			lm := forward()
+			p.Val[i] = orig
+			want := (lp - lm) / (2 * fdEps)
+			got := p.Grad[i]
+			if math.Abs(got-want) > fdTol*(1+math.Abs(want)) {
+				t.Errorf("%s grad[%d] = %g, finite difference %g", p, i, got, want)
+			}
+		}
+	}
+}
+
+// randMat fills a T×D matrix with values in (-1, 1).
+func randMat(rng *rand.Rand, T, D int) []Vec {
+	m := make([]Vec, T)
+	for t := range m {
+		m[t] = make(Vec, D)
+		for d := range m[t] {
+			m[t][d] = rng.Float64()*2 - 1
+		}
+	}
+	return m
+}
+
+// matLoss is a deterministic scalar loss over a matrix with row-dependent
+// weights, so gradients are non-uniform across both axes.
+func matLoss(m []Vec) (float64, []Vec) {
+	var loss float64
+	dy := make([]Vec, len(m))
+	for t := range m {
+		dy[t] = make(Vec, len(m[t]))
+		for d, v := range m[t] {
+			w := math.Sin(float64(t*7+d) + 0.5)
+			loss += w * v
+			dy[t][d] = w
+		}
+	}
+	return loss, dy
+}
+
+func TestConvBlockGradientsTableDriven(t *testing.T) {
+	shapes := []struct{ T, D int }{
+		{1, 1}, {1, 4}, {2, 3}, {3, 1}, {4, 2}, {6, 5},
+	}
+	for _, sh := range shapes {
+		rng := rand.New(rand.NewSource(int64(100*sh.T + sh.D)))
+		b := NewConvBlock("conv", rng)
+		// Non-trivial norm parameters so their gradients are exercised.
+		b.BN.Gamma.Val[0] = 1.3
+		b.BN.Beta.Val[0] = 0.2
+		m := randMat(rng, sh.T, sh.D)
+		forward := func() float64 {
+			y, _ := b.Forward(m)
+			loss, _ := matLoss(y)
+			return loss
+		}
+		ZeroGrads(b.Params())
+		y, back := b.Forward(m)
+		_, dy := matLoss(y)
+		dm := back(dy)
+		fdCheckParams(t, b.Params(), forward)
+		for ti := range m {
+			for d := range m[ti] {
+				orig := m[ti][d]
+				m[ti][d] = orig + fdEps
+				lp := forward()
+				m[ti][d] = orig - fdEps
+				lm := forward()
+				m[ti][d] = orig
+				want := (lp - lm) / (2 * fdEps)
+				if math.Abs(dm[ti][d]-want) > fdTol*(1+math.Abs(want)) {
+					t.Errorf("shape %dx%d: dm[%d][%d] = %g, want %g", sh.T, sh.D, ti, d, dm[ti][d], want)
+				}
+			}
+		}
+	}
+}
+
+func TestLSTMCellGradientsTableDriven(t *testing.T) {
+	shapes := []struct{ in, hidden int }{
+		{1, 1}, {2, 3}, {3, 2}, {4, 5},
+	}
+	for _, sh := range shapes {
+		rng := rand.New(rand.NewSource(int64(10*sh.in + sh.hidden)))
+		c := NewLSTMCell("cell", sh.in, sh.hidden, rng)
+		x := make(Vec, sh.in)
+		h := make(Vec, sh.hidden)
+		cp := make(Vec, sh.hidden)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		for j := range h {
+			h[j] = rng.Float64()*2 - 1
+			cp[j] = rng.Float64()*2 - 1
+		}
+		// Loss reads both outputs of one step so every gate contributes.
+		forward := func() float64 {
+			hn, cn, _ := c.Step(x, h, cp)
+			lh, _ := sumLoss(hn)
+			lc, _ := sumLoss(cn)
+			return lh + 0.5*lc
+		}
+		ZeroGrads(c.Params())
+		hn, cn, back := c.Step(x, h, cp)
+		_, dh := sumLoss(hn)
+		_, dcw := sumLoss(cn)
+		dc := make(Vec, len(dcw))
+		for j := range dcw {
+			dc[j] = 0.5 * dcw[j]
+		}
+		dx, dhPrev, dcPrev := back(dh, dc)
+		fdCheckParams(t, c.Params(), forward)
+
+		checkVec := func(name string, got Vec, xs Vec) {
+			for i := range xs {
+				orig := xs[i]
+				xs[i] = orig + fdEps
+				lp := forward()
+				xs[i] = orig - fdEps
+				lm := forward()
+				xs[i] = orig
+				want := (lp - lm) / (2 * fdEps)
+				if math.Abs(got[i]-want) > fdTol*(1+math.Abs(want)) {
+					t.Errorf("in=%d hidden=%d: %s[%d] = %g, want %g", sh.in, sh.hidden, name, i, got[i], want)
+				}
+			}
+		}
+		checkVec("dx", dx, x)
+		checkVec("dhPrev", dhPrev, h)
+		checkVec("dcPrev", dcPrev, cp)
+	}
+}
+
+func TestBatchNormGradientsTableDriven(t *testing.T) {
+	shapes := []struct{ T, D int }{
+		{1, 2}, {2, 2}, {3, 4}, {5, 1}, {4, 6},
+	}
+	for _, sh := range shapes {
+		rng := rand.New(rand.NewSource(int64(1000*sh.T + sh.D)))
+		bn := NewBatchNorm("bn")
+		bn.Gamma.Val[0] = 0.8
+		bn.Beta.Val[0] = -0.4
+		m := randMat(rng, sh.T, sh.D)
+		forward := func() float64 {
+			y, _ := bn.Forward(m)
+			loss, _ := matLoss(y)
+			return loss
+		}
+		ZeroGrads(bn.Params())
+		y, back := bn.Forward(m)
+		_, dy := matLoss(y)
+		dm := back(dy)
+		fdCheckParams(t, bn.Params(), forward)
+		for ti := range m {
+			for d := range m[ti] {
+				orig := m[ti][d]
+				m[ti][d] = orig + fdEps
+				lp := forward()
+				m[ti][d] = orig - fdEps
+				lm := forward()
+				m[ti][d] = orig
+				want := (lp - lm) / (2 * fdEps)
+				if math.Abs(dm[ti][d]-want) > fdTol*(1+math.Abs(want)) {
+					t.Errorf("shape %dx%d: dm[%d][%d] = %g, want %g", sh.T, sh.D, ti, d, dm[ti][d], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchNormEmptyMatrix(t *testing.T) {
+	bn := NewBatchNorm("bn")
+	y, back := bn.Forward(nil)
+	if y != nil || back(nil) != nil {
+		t.Error("empty matrix should normalize to nil")
+	}
+}

@@ -22,6 +22,12 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // Params implements Module.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers (see Param.GradView).
+func (l *Linear) ShareWeights() *Linear {
+	return &Linear{W: l.W.GradView(), B: l.B.GradView()}
+}
+
 // InDim returns the input dimension.
 func (l *Linear) InDim() int { return l.W.Cols }
 
@@ -140,6 +146,12 @@ func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
 // Params implements Module.
 func (e *Embedding) Params() []*Param { return []*Param{e.W} }
 
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers.
+func (e *Embedding) ShareWeights() *Embedding {
+	return &Embedding{W: e.W.GradView()}
+}
+
 // Dim returns the embedding dimension.
 func (e *Embedding) Dim() int { return e.W.Cols }
 
@@ -205,6 +217,16 @@ func NewMLP(name string, dims []int, rng *rand.Rand) *MLP {
 
 func nameIdx(name string, i int) string {
 	return name + "." + string(rune('0'+i))
+}
+
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers.
+func (m *MLP) ShareWeights() *MLP {
+	cp := &MLP{FinalActivation: m.FinalActivation}
+	for _, l := range m.Layers {
+		cp.Layers = append(cp.Layers, l.ShareWeights())
+	}
+	return cp
 }
 
 // Params implements Module.

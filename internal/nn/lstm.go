@@ -38,6 +38,12 @@ func NewLSTMCell(name string, in, hidden int, rng *rand.Rand) *LSTMCell {
 // Params implements Module.
 func (c *LSTMCell) Params() []*Param { return []*Param{c.W, c.B} }
 
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers.
+func (c *LSTMCell) ShareWeights() *LSTMCell {
+	return &LSTMCell{W: c.W.GradView(), B: c.B.GradView(), In: c.In, Hidden: c.Hidden}
+}
+
 // StepBackward propagates gradients of one step: given dh' and dc', it
 // returns dx, dh and dc.
 type StepBackward func(dh, dc Vec) (dx, dhPrev, dcPrev Vec)
@@ -126,6 +132,12 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 
 // Params implements Module.
 func (l *LSTM) Params() []*Param { return l.Cell.Params() }
+
+// ShareWeights returns a replica sharing weight storage with private
+// gradient buffers.
+func (l *LSTM) ShareWeights() *LSTM {
+	return &LSTM{Cell: l.Cell.ShareWeights()}
+}
 
 // Hidden returns the encoder's output dimension.
 func (l *LSTM) Hidden() int { return l.Cell.Hidden }

@@ -29,10 +29,11 @@ type SGD struct {
 
 // Step implements Optimizer.
 func (o *SGD) Step(params []*Param) {
+	clip := o.Clip > 0
 	for _, p := range params {
 		for i := range p.Val {
 			g := p.Grad[i]
-			if o.Clip > 0 {
+			if clip {
 				g = clamp(g, -o.Clip, o.Clip)
 			}
 			p.Val[i] -= o.LR * g
@@ -73,6 +74,7 @@ func (o *Adam) Step(params []*Param) {
 	o.t++
 	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	clip := o.Clip > 0
 	for _, p := range params {
 		st, ok := o.state[p]
 		if !ok {
@@ -81,7 +83,7 @@ func (o *Adam) Step(params []*Param) {
 		}
 		for i := range p.Val {
 			g := p.Grad[i]
-			if o.Clip > 0 {
+			if clip {
 				g = clamp(g, -o.Clip, o.Clip)
 			}
 			st.m[i] = o.Beta1*st.m[i] + (1-o.Beta1)*g

@@ -62,9 +62,19 @@ func (p *Param) Row(r int) []float64 { return p.Val[r*p.Cols : (r+1)*p.Cols] }
 func (p *Param) GradRow(r int) []float64 { return p.Grad[r*p.Cols : (r+1)*p.Cols] }
 
 // ZeroGrad clears the gradient accumulator.
-func (p *Param) ZeroGrad() {
-	for i := range p.Grad {
-		p.Grad[i] = 0
+func (p *Param) ZeroGrad() { clear(p.Grad) }
+
+// GradView returns a parameter sharing p's weight storage with a private
+// zeroed gradient buffer — the building block of per-worker gradient
+// accumulation in the data-parallel Trainer. Updates to the weights (Val)
+// are visible through every view; gradients are not.
+func (p *Param) GradView() *Param {
+	return &Param{
+		Name: p.Name,
+		Val:  p.Val,
+		Grad: make([]float64, len(p.Val)),
+		Rows: p.Rows,
+		Cols: p.Cols,
 	}
 }
 
@@ -112,8 +122,12 @@ type Backward func(dy Vec) Vec
 // zeros allocates an n-vector.
 func zeros(n int) Vec { return make(Vec, n) }
 
-// addInto accumulates src into dst.
+// addInto accumulates src into dst (dst must be at least as long as src).
 func addInto(dst, src Vec) {
+	if len(src) == 0 {
+		return
+	}
+	dst = dst[:len(src)]
 	for i, v := range src {
 		dst[i] += v
 	}

@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SampleFunc computes forward+backward for sample i of the current
+// mini-batch, accumulating parameter gradients into the replica it is
+// bound to, and returns the sample's (un-averaged) loss contribution.
+// The index i addresses the batch the caller staged before Step; the
+// function must not touch the canonical parameters' gradients.
+type SampleFunc func(i int) float64
+
+// BindFunc builds one worker-local model replica: a parameter list whose
+// entries share weight (Val) storage with the trainer's canonical
+// parameters — same order, same shapes — but own private gradient
+// buffers, plus the per-sample forward+backward runner bound to those
+// replica parameters. Layers expose ShareWeights constructors for this;
+// BindFunc is called once per worker at trainer construction.
+type BindFunc func() (replica []*Param, run SampleFunc)
+
+// Trainer shards mini-batch gradient computation across workers. Each
+// sample's gradient is computed into a zeroed worker-private buffer and
+// reduced into the canonical gradients strictly in sample order, so the
+// result is bit-for-bit identical for every Parallelism setting: the
+// floating-point operation sequence per sample is fixed (forward reads
+// only the shared weights, which are frozen during Step), and the
+// reduction order is fixed by sample index, not by worker scheduling.
+//
+// Parallelism 1 therefore reproduces the multi-worker result exactly and
+// runs inline without spawning goroutines.
+type Trainer struct {
+	params  []*Param
+	workers []trainWorker
+	losses  []float64
+}
+
+type trainWorker struct {
+	replica []*Param
+	run     SampleFunc
+}
+
+// NewTrainer builds a trainer over the canonical parameters. parallelism
+// ≤ 0 selects runtime.NumCPU(). bind is invoked once per worker and must
+// return replicas aligned index-for-index with params.
+func NewTrainer(params []*Param, parallelism int, bind BindFunc) *Trainer {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	t := &Trainer{params: params, losses: make([]float64, parallelism)}
+	for w := 0; w < parallelism; w++ {
+		replica, run := bind()
+		if len(replica) != len(params) {
+			panic(fmt.Sprintf("nn: trainer replica has %d params, want %d", len(replica), len(params)))
+		}
+		for i, p := range replica {
+			if p.Size() != params[i].Size() {
+				panic(fmt.Sprintf("nn: trainer replica param %d (%s) has size %d, want %d",
+					i, p, p.Size(), params[i].Size()))
+			}
+		}
+		t.workers = append(t.workers, trainWorker{replica: replica, run: run})
+	}
+	return t
+}
+
+// Parallelism returns the number of workers.
+func (t *Trainer) Parallelism() int { return len(t.workers) }
+
+// Step zeroes the canonical gradients, computes the gradient of every
+// sample in the batch of size n, reduces them in sample order, and
+// returns the summed per-sample losses (also accumulated in sample
+// order). The caller applies the optimizer afterwards.
+func (t *Trainer) Step(n int) float64 {
+	ZeroGrads(t.params)
+	var total float64
+	p := len(t.workers)
+	// The batch runs in waves of up to p samples: worker w computes
+	// sample base+w, then the wave's buffers merge in worker (= sample)
+	// order. The wave structure only controls scheduling — the reduce
+	// sequence is the same for every p.
+	for base := 0; base < n; base += p {
+		k := p
+		if base+k > n {
+			k = n - base
+		}
+		if k == 1 || p == 1 {
+			for w := 0; w < k; w++ {
+				t.runSample(w, base+w)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < k; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					t.runSample(w, base+w)
+				}(w)
+			}
+			wg.Wait()
+		}
+		for w := 0; w < k; w++ {
+			for pi, p := range t.params {
+				addInto(p.Grad, t.workers[w].replica[pi].Grad)
+			}
+			total += t.losses[w]
+		}
+	}
+	return total
+}
+
+// runSample computes sample i's loss and gradient on worker w.
+func (t *Trainer) runSample(w, i int) {
+	wk := t.workers[w]
+	ZeroGrads(wk.replica)
+	t.losses[w] = wk.run(i)
+}

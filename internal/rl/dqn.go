@@ -95,7 +95,11 @@ type AgentConfig struct {
 	// the standard DQN stabilization. Zero bootstraps from the online
 	// network, as in the paper's pseudocode.
 	TargetSync int
-	Seed       int64
+	// Parallelism is the number of data-parallel workers per replay
+	// mini-batch (nn.Trainer). 0 selects runtime.NumCPU(); 1 runs
+	// serially. Results are bit-for-bit identical for every setting.
+	Parallelism int
+	Seed        int64
 }
 
 func (c AgentConfig) withDefaults() AgentConfig {
@@ -130,6 +134,12 @@ type Agent struct {
 	opt *nn.Adam
 	mem []Experience
 	rng *rand.Rand
+
+	// trainer shards replay-batch gradient computation (lazily built);
+	// batch and batchN stage the sampled experiences for its workers.
+	trainer *nn.Trainer
+	batch   []Experience
+	batchN  float64
 }
 
 // NewAgent allocates an initialized agent.
@@ -210,7 +220,10 @@ func (a *Agent) Memory() []Experience { return a.mem }
 
 // Learn runs one DQN update (the paper's function DQN): sample a batch,
 // compute Q'(e_t,a_t) = r_t + γ·max_i Q(e_{t+1})[i], and minimize the
-// squared error against Q(e_t,a_t). It returns the mean batch loss.
+// squared error against Q(e_t,a_t). The batch is sampled serially (so
+// RNG consumption matches the serial implementation) and its gradients
+// are computed data-parallel across the trainer's workers. It returns
+// the mean batch loss.
 func (a *Agent) Learn() float64 {
 	if len(a.mem) == 0 {
 		return 0
@@ -219,11 +232,31 @@ func (a *Agent) Learn() float64 {
 	if n > len(a.mem) {
 		n = len(a.mem)
 	}
-	params := a.QNet.Params()
-	nn.ZeroGrads(params)
-	var loss float64
+	if a.trainer == nil {
+		a.trainer = nn.NewTrainer(a.QNet.Params(), a.Cfg.Parallelism, a.bindWorker)
+	}
+	a.batch = a.batch[:0]
 	for b := 0; b < n; b++ {
-		e := a.mem[a.rng.Intn(len(a.mem))]
+		a.batch = append(a.batch, a.mem[a.rng.Intn(len(a.mem))])
+	}
+	a.batchN = float64(n)
+	loss := a.trainer.Step(n)
+	a.opt.Step(a.QNet.Params())
+	a.learnCalls++
+	if a.target != nil && a.learnCalls%a.Cfg.TargetSync == 0 {
+		copyParams(a.target.Params(), a.QNet.Params())
+	}
+	return loss / float64(n)
+}
+
+// bindWorker builds one data-parallel training worker: a Q-network
+// replica over shared weights plus the per-experience TD-error runner.
+// The bootstrap target is evaluated through the frozen target network
+// (or the online network) — pure reads, safe across workers.
+func (a *Agent) bindWorker() ([]*nn.Param, nn.SampleFunc) {
+	rep := a.QNet.ShareWeights()
+	run := func(i int) float64 {
+		e := a.batch[i]
 		target := e.Reward
 		if !e.Terminal {
 			best := math.Inf(-1)
@@ -234,17 +267,12 @@ func (a *Agent) Learn() float64 {
 			}
 			target += a.Cfg.Gamma * best
 		}
-		y, back := a.QNet.Forward(e.State[e.Action])
+		y, back := rep.Forward(e.State[e.Action])
 		d := y - target
-		loss += d * d
-		back(2 * d / float64(n))
+		back(2 * d / a.batchN)
+		return d * d
 	}
-	a.opt.Step(params)
-	a.learnCalls++
-	if a.target != nil && a.learnCalls%a.Cfg.TargetSync == 0 {
-		copyParams(a.target.Params(), a.QNet.Params())
-	}
-	return loss / float64(n)
+	return rep.Params(), run
 }
 
 // Save persists the Q-network weights.

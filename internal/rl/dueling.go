@@ -18,6 +18,10 @@ type QNetwork interface {
 	// Clone returns an architecture copy with independent parameters
 	// initialized to the same values (for target networks).
 	Clone() QNetwork
+	// ShareWeights returns a replica sharing weight storage with private
+	// gradient buffers, in Params() order (for data-parallel training
+	// workers; see nn.Trainer).
+	ShareWeights() QNetwork
 }
 
 // mlpQ wraps the plain MLP as a QNetwork.
@@ -40,6 +44,8 @@ func (m *mlpQ) Clone() QNetwork {
 	copyParams(cp.net.Params(), m.net.Params())
 	return cp
 }
+
+func (m *mlpQ) ShareWeights() QNetwork { return &mlpQ{net: m.net.ShareWeights()} }
 
 // DuelingQ decomposes Q(e,a) = V(e) + A(e,a): a shared trunk feeds a
 // state-value head and an advantage head. With per-action featurized
@@ -94,6 +100,15 @@ func (d *DuelingQ) Clone() QNetwork {
 	cp := NewDuelingQ(rand.New(rand.NewSource(0))).(*DuelingQ)
 	copyParams(cp.Params(), d.Params())
 	return cp
+}
+
+// ShareWeights implements QNetwork.
+func (d *DuelingQ) ShareWeights() QNetwork {
+	return &DuelingQ{
+		Trunk: d.Trunk.ShareWeights(),
+		Value: d.Value.ShareWeights(),
+		Adv:   d.Adv.ShareWeights(),
+	}
 }
 
 // copyParams copies values positionally (architectures are identical by

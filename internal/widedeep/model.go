@@ -97,6 +97,28 @@ func (m *Model) Params() []*nn.Param {
 	return nn.CollectParams(m.Enc, m.Wide, m.FC1, m.FC2, m.FC3, m.FC4, m.FC5, m.FC6)
 }
 
+// shareWeights returns a model replica whose layers share weight storage
+// with m but own private gradient buffers, in m's parameter order —
+// one per training worker (see nn.Trainer). Scaling state is copied by
+// value, so the replica must be built after Norm and the target scale are
+// fitted.
+func (m *Model) shareWeights() *Model {
+	return &Model{
+		Enc:   m.Enc.ShareWeights(),
+		Norm:  m.Norm,
+		Wide:  m.Wide.ShareWeights(),
+		FC1:   m.FC1.ShareWeights(),
+		FC2:   m.FC2.ShareWeights(),
+		FC3:   m.FC3.ShareWeights(),
+		FC4:   m.FC4.ShareWeights(),
+		FC5:   m.FC5.ShareWeights(),
+		FC6:   m.FC6.ShareWeights(),
+		yMean: m.yMean,
+		yStd:  m.yStd,
+		cfg:   m.cfg,
+	}
+}
+
 // forward computes the standardized prediction and a backward closure
 // taking dL/dŷ.
 func (m *Model) forward(f featenc.Features) (float64, func(dy float64)) {
@@ -208,6 +230,10 @@ type TrainConfig struct {
 	LearnRate float64 // lr
 	BatchSize int     // b_s
 	Seed      int64
+	// Parallelism is the number of data-parallel training workers per
+	// mini-batch (nn.Trainer). 0 selects runtime.NumCPU(); 1 runs
+	// serially. Results are bit-for-bit identical for every setting.
+	Parallelism int
 	// Progress, when non-nil, receives (epoch, meanLoss) after each epoch.
 	Progress func(epoch int, loss float64)
 }
@@ -248,6 +274,24 @@ func (m *Model) Fit(samples []Sample, cfg TrainConfig) ([]float64, error) {
 	opt := nn.NewAdam(cfg.LearnRate)
 	opt.Clip = 5
 
+	// Data-parallel mini-batch gradients: each worker owns a model
+	// replica over shared weights; batch and n are staged before every
+	// Step and read by the per-sample runners.
+	var batch []int
+	var n float64
+	trainer := nn.NewTrainer(params, cfg.Parallelism, func() ([]*nn.Param, nn.SampleFunc) {
+		rep := m.shareWeights()
+		run := func(i int) float64 {
+			s := samples[batch[i]]
+			target := (s.Y - m.yMean) / m.yStd
+			pred, back := rep.forward(s.F)
+			d := pred - target
+			back(2 * d / n)
+			return d * d
+		}
+		return rep.Params(), run
+	})
+
 	idx := make([]int, len(samples))
 	for i := range idx {
 		idx[i] = i
@@ -262,17 +306,9 @@ func (m *Model) Fit(samples []Sample, cfg TrainConfig) ([]float64, error) {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			nn.ZeroGrads(params)
-			var batchLoss float64
-			n := float64(end - start)
-			for _, i := range idx[start:end] {
-				s := samples[i]
-				target := (s.Y - m.yMean) / m.yStd
-				pred, back := m.forward(s.F)
-				d := pred - target
-				batchLoss += d * d
-				back(2 * d / n)
-			}
+			batch = idx[start:end]
+			n = float64(end - start)
+			batchLoss := trainer.Step(end - start)
 			opt.Step(params)
 			epochLoss += batchLoss / n
 			batches++

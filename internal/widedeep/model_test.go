@@ -146,6 +146,47 @@ func TestFitReducesLoss(t *testing.T) {
 	}
 }
 
+// TestFitParallelismDeterminism trains the full W-D model from one seed
+// at Parallelism 1 and 8: weights, loss traces and predictions must be
+// bit-for-bit identical — the trainer computes every sample's gradient
+// from a zeroed per-worker buffer and reduces in sample order, so worker
+// count never changes the arithmetic.
+func TestFitParallelismDeterminism(t *testing.T) {
+	cat := testCatalog(t)
+	vocab := featenc.NewVocab(cat, []string{"cnt"})
+	samples := syntheticSamples(t, cat, 24)
+	cfg := Config{Encoder: featenc.Config{EmbedDim: 4, Hidden: 4}}
+
+	fit := func(par int) (*Model, []float64) {
+		m := New(vocab, cfg, rand.New(rand.NewSource(31)))
+		losses, err := m.Fit(samples, TrainConfig{Epochs: 4, BatchSize: 8, Seed: 5, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, losses
+	}
+	m1, l1 := fit(1)
+	m8, l8 := fit(8)
+	for i := range l1 {
+		if l1[i] != l8[i] {
+			t.Fatalf("epoch %d loss: serial %.17g, parallel %.17g", i, l1[i], l8[i])
+		}
+	}
+	p1, p8 := m1.Params(), m8.Params()
+	for i := range p1 {
+		for j := range p1[i].Val {
+			if p1[i].Val[j] != p8[i].Val[j] {
+				t.Fatalf("%s weight[%d]: serial %.17g, parallel %.17g", p1[i], j, p1[i].Val[j], p8[i].Val[j])
+			}
+		}
+	}
+	for _, s := range samples {
+		if m1.Predict(s.F) != m8.Predict(s.F) {
+			t.Fatal("predictions diverge between parallelism settings")
+		}
+	}
+}
+
 func TestFitEmptyErrors(t *testing.T) {
 	cat := testCatalog(t)
 	vocab := featenc.NewVocab(cat, nil)

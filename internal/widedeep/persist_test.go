@@ -39,6 +39,32 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveLoadPredictionsOn100Inputs(t *testing.T) {
+	cat := testCatalog(t)
+	vocab := featenc.NewVocab(cat, []string{"cnt"})
+	cfg := Config{Encoder: featenc.Config{EmbedDim: 4, Hidden: 4}}
+	m := New(vocab, cfg, rand.New(rand.NewSource(21)))
+	samples := syntheticSamples(t, cat, 100)
+	if _, err := m.Fit(samples[:32], TrainConfig{Epochs: 2, BatchSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(vocab, cfg, rand.New(rand.NewSource(777)))
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range samples {
+		want := m.Predict(s.F)
+		if got := m2.Predict(s.F); got != want {
+			t.Fatalf("input %d: loaded model predicts %g, original %g", i, got, want)
+		}
+	}
+}
+
 func TestLoadRejectsShapeMismatch(t *testing.T) {
 	cat := testCatalog(t)
 	vocab := featenc.NewVocab(cat, nil)
