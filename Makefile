@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-train vet
+.PHONY: build test test-race bench bench-train bench-obs vet lint
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,15 @@ bench:
 bench-train:
 	$(GO) test -bench=BenchmarkNNTrainStep -run=^$$ .
 
+# Disabled-path observability overhead guard (< 5 ns/op; OBSERVABILITY.md).
+bench-obs:
+	$(GO) test -bench=ObsOverhead -run=^$$ ./internal/obs/
+
 vet:
+	$(GO) vet ./...
+
+# Formatting + vet gate; fails listing any file gofmt would rewrite.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...

@@ -7,6 +7,11 @@
 //
 //	costmodel [-workload job|wk1|wk2] [-variant wd|nkw|nstr|nexp]
 //	          [-epochs N] [-save model.json] [-load model.json]
+//	          [-stats] [-obs-addr host:port] [-log-level debug|info|warn|error]
+//
+// The observability flags are shared with viewgen and documented in
+// OBSERVABILITY.md; -stats prints the wd.train/wd.infer metrics after the
+// run.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"autoview/internal/equiv"
 	"autoview/internal/featenc"
 	"autoview/internal/metrics"
+	"autoview/internal/obs"
 	"autoview/internal/rewrite"
 	"autoview/internal/widedeep"
 	"autoview/internal/workload"
@@ -33,7 +39,16 @@ func main() {
 	savePath := flag.String("save", "", "persist trained weights to this file")
 	loadPath := flag.String("load", "", "load weights instead of training")
 	seed := flag.Int64("seed", 17, "random seed")
+	stats := flag.Bool("stats", false, "print the observability registry snapshot after the run")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	logLevel := flag.String("log-level", "", "stream structured events to stderr at this level: debug, info, warn, error")
 	flag.Parse()
+
+	if bound, err := obs.Setup(*stats, *obsAddr, *logLevel, os.Stderr); err != nil {
+		fail(err)
+	} else if bound != "" {
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s\n", bound)
+	}
 
 	w, err := pickWorkload(*wl)
 	if err != nil {
@@ -111,6 +126,10 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("weights saved to %s\n", *savePath)
+	}
+
+	if *stats {
+		fmt.Print("\nobservability snapshot:\n", obs.Default.Snapshot().Text())
 	}
 }
 

@@ -3,9 +3,14 @@
 // Usage:
 //
 //	experiments [-run all|fig1|tab1|tab2|tab3|fig9|tab4|fig10|tab5] [-full]
+//	            [-stats] [-obs-addr host:port] [-log-level debug|info|warn|error]
 //
 // By default a reduced-budget ("quick") configuration is used; -full runs
 // the Table II budgets on the full-size workloads.
+//
+// The observability flags are shared with viewgen and documented in
+// OBSERVABILITY.md; long -full runs are the main consumer of -obs-addr's
+// live /metrics and /debug/pprof endpoints.
 package main
 
 import (
@@ -16,12 +21,23 @@ import (
 	"time"
 
 	"autoview/internal/experiments"
+	"autoview/internal/obs"
 )
 
 func main() {
 	run := flag.String("run", "all", "experiment id: all, fig1, tab1, tab2, tab3, fig9, tab4, fig10, tab5, ablation")
 	full := flag.Bool("full", false, "use the full Table II budgets (slower)")
+	stats := flag.Bool("stats", false, "print the observability registry snapshot after the run")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	logLevel := flag.String("log-level", "", "stream structured events to stderr at this level: debug, info, warn, error")
 	flag.Parse()
+
+	if bound, err := obs.Setup(*stats, *obsAddr, *logLevel, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s\n", bound)
+	}
 
 	scale := experiments.Quick
 	if *full {
@@ -41,6 +57,10 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("  (%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *stats {
+		fmt.Print("\nobservability snapshot:\n", obs.Default.Snapshot().Text())
 	}
 }
 

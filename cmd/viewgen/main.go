@@ -1,12 +1,23 @@
 // Command viewgen runs the end-to-end automatic view generation pipeline
-// (Figure 3 of the paper) on one of the built-in workloads and prints the
+// (Figure 3 of the paper) on a built-in or custom workload and prints the
 // selected views plus the end-to-end savings report.
 //
 // Usage:
 //
 //	viewgen [-workload job|wk1|wk2] [-estimator actual|optimizer|wd]
 //	        [-selector rlview|bigsub|iterview|topkfreq|topkover|topkben|topknorm]
-//	        [-seed N] [-verbose]
+//	        [-schema schema.json -queries queries.sql]
+//	        [-seed N] [-verbose] [-ddl]
+//	        [-stats] [-obs-addr host:port] [-log-level debug|info|warn|error]
+//
+// -schema/-queries load a custom workload (JSON schema + SQL file)
+// instead of a built-in one. -verbose prints the selected view plans and
+// -ddl their CREATE MATERIALIZED VIEW statements.
+//
+// The observability flags are documented in OBSERVABILITY.md: -stats
+// prints the metric registry snapshot after the run, -obs-addr serves
+// /metrics, /debug/vars and /debug/pprof over HTTP while the run is in
+// flight, and -log-level streams structured pipeline events to stderr.
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 
 	"autoview/internal/core"
 	"autoview/internal/engine"
+	"autoview/internal/obs"
 	"autoview/internal/plan"
 	"autoview/internal/workload"
 )
@@ -31,7 +43,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("verbose", false, "print selected view plans")
 	ddl := flag.Bool("ddl", false, "print CREATE MATERIALIZED VIEW statements for the selection")
+	stats := flag.Bool("stats", false, "print the observability registry snapshot after the run")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	logLevel := flag.String("log-level", "", "stream structured events to stderr at this level: debug, info, warn, error")
 	flag.Parse()
+
+	if err := setupObs(*stats, *obsAddr, *logLevel); err != nil {
+		fail(err)
+	}
 
 	var w *workload.Workload
 	var cfg core.Config
@@ -59,9 +78,9 @@ func main() {
 	adv := core.NewAdvisor(w.Cat, engine.New(w.Populate()), cfg)
 
 	pre := adv.Preprocess(w.Plans())
-	stats := w.Describe(pre)
+	desc := w.Describe(pre)
 	fmt.Printf("pre-process: %d subqueries, %d equivalent pairs, |Z|=%d candidates, |Q|=%d associated queries, %d overlapping pairs\n",
-		stats.Subqueries, stats.EquivalentPairs, stats.Candidates, stats.AssociatedQuery, stats.OverlappingPairs)
+		desc.Subqueries, desc.EquivalentPairs, desc.Candidates, desc.AssociatedQuery, desc.OverlappingPairs)
 
 	p, err := adv.BuildProblem(w.Plans(), pre)
 	if err != nil {
@@ -70,15 +89,12 @@ func main() {
 	fmt.Printf("estimator %s: benefit matrix %d×%d assembled\n",
 		cfg.Estimator, p.Instance.NumQueries(), p.Instance.NumViews())
 
-	selection := adv.Select(p)
-	nSel := 0
-	for _, z := range selection.Z {
-		if z {
-			nSel++
-		}
+	selection, err := adv.Select(p)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Printf("selector %s: %d views selected, estimated utility $%.4f\n",
-		selection.Method, nSel, selection.Utility)
+		selection.Method, selection.Selected(), selection.Utility)
 	if *verbose {
 		for j, z := range selection.Z {
 			if !z {
@@ -104,6 +120,25 @@ func main() {
 	}
 	fmt.Println(rep)
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *stats {
+		fmt.Print("\nobservability snapshot:\n", obs.Default.Snapshot().Text())
+	}
+}
+
+// setupObs wires the shared observability flags: -stats and -obs-addr
+// enable the registry (so spans start timing), -obs-addr additionally
+// serves the HTTP endpoint, and -log-level attaches the event logger to
+// stderr.
+func setupObs(stats bool, addr, level string) error {
+	bound, err := obs.Setup(stats, addr, level, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if bound != "" {
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", bound)
+	}
+	return nil
 }
 
 // loadCustom reads a user-provided schema + queries pair.

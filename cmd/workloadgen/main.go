@@ -5,6 +5,11 @@
 // Usage:
 //
 //	workloadgen [-workload job|wk1|wk2] [-sql] [-redundancy]
+//	            [-stats] [-obs-addr host:port] [-log-level debug|info|warn|error]
+//
+// The observability flags are shared with viewgen and documented in
+// OBSERVABILITY.md; -stats prints the parse/preprocess metrics after the
+// run.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"strings"
 
 	"autoview/internal/equiv"
+	"autoview/internal/obs"
 	"autoview/internal/workload"
 )
 
@@ -21,7 +27,17 @@ func main() {
 	wl := flag.String("workload", "job", "workload: job, wk1, wk2")
 	dumpSQL := flag.Bool("sql", false, "print every query's SQL")
 	redundancy := flag.Bool("redundancy", false, "print the per-project redundancy analysis (Figure 1)")
+	statsFlag := flag.Bool("stats", false, "print the observability registry snapshot after the run")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	logLevel := flag.String("log-level", "", "stream structured events to stderr at this level: debug, info, warn, error")
 	flag.Parse()
+
+	if bound, err := obs.Setup(*statsFlag, *obsAddr, *logLevel, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s\n", bound)
+	}
 
 	var w *workload.Workload
 	switch strings.ToLower(*wl) {
@@ -63,5 +79,9 @@ func main() {
 		for _, q := range w.Queries {
 			fmt.Printf("-- %s (%s)\n%s;\n", q.ID, q.Project, q.SQL)
 		}
+	}
+
+	if *statsFlag {
+		fmt.Print("\nobservability snapshot:\n", obs.Default.Snapshot().Text())
 	}
 }

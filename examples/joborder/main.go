@@ -38,7 +38,10 @@ func main() {
 	// RLView selection.
 	cfg.Selector = core.SelectorRLView
 	adv.Cfg = cfg
-	rlSel := adv.Select(p)
+	rlSel, err := adv.Select(p)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rlReport, err := adv.Apply(p, rlSel)
 	if err != nil {
 		log.Fatal(err)
@@ -47,7 +50,10 @@ func main() {
 	// BigSub baseline on the same problem.
 	cfg.Selector = core.SelectorBigSub
 	adv.Cfg = cfg
-	bsSel := adv.Select(p)
+	bsSel, err := adv.Select(p)
+	if err != nil {
+		log.Fatal(err)
+	}
 	bsReport, err := adv.Apply(p, bsSel)
 	if err != nil {
 		log.Fatal(err)

@@ -33,7 +33,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sel1 := adv1.Select(p1)
+	sel1, err := adv1.Select(p1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	_, ne := adv1.Meta.Counts()
 	fmt.Printf("day 1: RLView selected %d views (utility $%.4f), %d experiences collected\n",
 		countTrue(sel1.Z), sel1.Utility, ne)
@@ -58,7 +61,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sel2 := adv2.Select(p2)
+	sel2, err := adv2.Select(p2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("day 2: pretrained RLView selected %d views (utility $%.4f) with %d online epochs\n",
 		countTrue(sel2.Z), sel2.Utility, adv2.Cfg.RL.Epochs)
 

@@ -14,11 +14,23 @@ import (
 	"autoview/internal/featenc"
 	"autoview/internal/metrics"
 	"autoview/internal/mvs"
+	"autoview/internal/obs"
 	"autoview/internal/plan"
 	"autoview/internal/rewrite"
 	"autoview/internal/rl"
 	"autoview/internal/selbase"
 	"autoview/internal/widedeep"
+)
+
+// Pipeline metrics: per-run sizes land in gauges (last run wins), work
+// done accumulates in counters. The advisor.* spans time every stage of
+// Figure 3; see OBSERVABILITY.md for the full catalog.
+var (
+	obsRuns          = obs.Default.Counter("core.runs", "completed Advisor.Run invocations")
+	obsQueries       = obs.Default.Counter("core.queries", "workload queries processed by BuildProblem")
+	obsPairsMeasured = obs.Default.Counter("core.pairs.measured", "(query, view) pairs measured on the engine")
+	obsViewsSelected = obs.Default.Gauge("core.views.selected", "views chosen by the last selection")
+	obsSavedRatio    = obs.Default.Gauge("core.saved.ratio", "saved-cost ratio r_c of the last report (%)")
 )
 
 // Advisor runs the end-to-end pipeline over one workload.
@@ -93,6 +105,7 @@ func (p *Problem) TotalQueryCost() float64 {
 // Preprocess runs the pre-process stage (Fig. 3) with the analytic cost
 // model ranking cluster representatives.
 func (a *Advisor) Preprocess(queries []*plan.Node) *equiv.Result {
+	defer obs.StartSpan("advisor.preprocess")()
 	return equiv.Preprocess(queries, &equiv.Options{
 		MinShare: a.Cfg.MinShare,
 		CostOf: func(n *plan.Node) float64 {
@@ -108,38 +121,22 @@ func (a *Advisor) Preprocess(queries []*plan.Node) *equiv.Result {
 // metadata database as training data.
 func (a *Advisor) BuildProblem(queries []*plan.Node, pre *equiv.Result) (*Problem, error) {
 	p := &Problem{Queries: queries, Pre: pre, AssocQueries: pre.AssociatedQueries}
-	pricing := a.Cfg.Pricing
+	obsQueries.Add(int64(len(queries)))
 
-	// Measure raw query costs once.
-	p.QueryCost = make([]float64, len(queries))
-	for i, q := range queries {
-		u, err := a.Exec.Cost(q)
-		if err != nil {
-			return nil, fmt.Errorf("core: measuring query %d: %w", i, err)
-		}
-		p.QueryCost[i] = u.Cost(pricing)
+	var err error
+	obs.Time("advisor.measure", func() { err = a.measureQueryCosts(p, queries) })
+	if err != nil {
+		obs.Error("advisor.measure", "err", err)
+		return nil, err
 	}
-
-	// Materialize every candidate (needed to rewrite later; its actual
-	// build usage provides the measured overhead).
-	for _, cand := range pre.Candidates {
-		v, err := a.Mgr.Materialize(cand.Plan)
-		if err != nil {
-			return nil, fmt.Errorf("core: materializing candidate: %w", err)
-		}
-		overhead := v.Overhead(pricing)
-		if a.Cfg.Estimator == EstimatorOptimizer {
-			est := costbase.EstimatePlan(cand.Plan, a.Cat)
-			overhead = est.Usage().TotalViewOverhead(pricing)
-		}
-		p.Candidates = append(p.Candidates, &Candidate{
-			Candidate: cand,
-			View:      v,
-			Overhead:  overhead,
-		})
+	obs.Time("advisor.materialize", func() { err = a.materializeCandidates(p, pre) })
+	if err != nil {
+		obs.Error("advisor.materialize", "err", err)
+		return nil, err
 	}
-
-	if err := a.fillBenefits(p); err != nil {
+	obs.Time("advisor.estimate", func() { err = a.fillBenefits(p) })
+	if err != nil {
+		obs.Error("advisor.estimate", "err", err, "estimator", a.Cfg.Estimator.String())
 		return nil, err
 	}
 
@@ -159,6 +156,44 @@ func (a *Advisor) BuildProblem(queries []*plan.Node, pre *equiv.Result) (*Proble
 		return nil, fmt.Errorf("core: assembled instance invalid: %w", err)
 	}
 	return p, nil
+}
+
+// measureQueryCosts measures the raw cost A(q) of every workload query
+// once.
+func (a *Advisor) measureQueryCosts(p *Problem, queries []*plan.Node) error {
+	pricing := a.Cfg.Pricing
+	p.QueryCost = make([]float64, len(queries))
+	for i, q := range queries {
+		u, err := a.Exec.Cost(q)
+		if err != nil {
+			return fmt.Errorf("core: measuring query %d: %w", i, err)
+		}
+		p.QueryCost[i] = u.Cost(pricing)
+	}
+	return nil
+}
+
+// materializeCandidates builds every candidate view (needed to rewrite
+// later; the actual build usage provides the measured overhead).
+func (a *Advisor) materializeCandidates(p *Problem, pre *equiv.Result) error {
+	pricing := a.Cfg.Pricing
+	for _, cand := range pre.Candidates {
+		v, err := a.Mgr.Materialize(cand.Plan)
+		if err != nil {
+			return fmt.Errorf("core: materializing candidate: %w", err)
+		}
+		overhead := v.Overhead(pricing)
+		if a.Cfg.Estimator == EstimatorOptimizer {
+			est := costbase.EstimatePlan(cand.Plan, a.Cat)
+			overhead = est.Usage().TotalViewOverhead(pricing)
+		}
+		p.Candidates = append(p.Candidates, &Candidate{
+			Candidate: cand,
+			View:      v,
+			Overhead:  overhead,
+		})
+	}
+	return nil
 }
 
 // pairKey identifies one (associated query, candidate) pair.
@@ -218,6 +253,7 @@ func (a *Advisor) fillBenefits(p *Problem) error {
 // own meter, so concurrent measurement is safe; results are returned in
 // pair order so downstream consumers stay deterministic.
 func (a *Advisor) measureAll(p *Problem, pairs []pairKey) ([]float64, error) {
+	obsPairsMeasured.Add(int64(len(pairs)))
 	costs := make([]float64, len(pairs))
 	errs := make([]error, len(pairs))
 	pricing := a.Cfg.Pricing
@@ -267,7 +303,6 @@ func (a *Advisor) measureAll(p *Problem, pairs []pairKey) ([]float64, error) {
 // wideDeepBenefits measures a training fraction of pairs, trains W-D on
 // them (Algorithm 1), and predicts the rest.
 func (a *Advisor) wideDeepBenefits(p *Problem, pairs []pairKey, assocIndex map[int]int) error {
-	pricing := a.Cfg.Pricing
 	frac := a.Cfg.TrainFraction
 	if frac <= 0 || frac > 1 {
 		frac = 0.7
@@ -324,7 +359,6 @@ func (a *Advisor) wideDeepBenefits(p *Problem, pairs []pairKey, assocIndex map[i
 		predicted := model.Predict(f) / scale
 		p.benefits[assocIndex[pk.qi]][pk.j] = p.QueryCost[pk.qi] - predicted
 	}
-	_ = pricing
 	return nil
 }
 
@@ -365,8 +399,34 @@ type Selection struct {
 	K       int // top-k cut for greedy methods (0 otherwise)
 }
 
-// Select runs the configured selection algorithm on the problem.
-func (a *Advisor) Select(p *Problem) *Selection {
+// Selected returns the number of chosen views.
+func (s *Selection) Selected() int {
+	n := 0
+	for _, z := range s.Z {
+		if z {
+			n++
+		}
+	}
+	return n
+}
+
+// Select runs the configured selection algorithm on the problem. Stage
+// errors (an unknown selector, a failed offline DQN pretraining) are
+// returned to the caller and logged as structured obs events rather than
+// silently folded into the selection.
+func (a *Advisor) Select(p *Problem) (*Selection, error) {
+	defer obs.StartSpan("advisor.select")()
+	sel, err := a.selectViews(p)
+	if err != nil {
+		obs.Error("advisor.select", "selector", a.Cfg.Selector.String(), "err", err)
+		return nil, err
+	}
+	obsViewsSelected.Set(float64(sel.Selected()))
+	obs.Info("advisor.select", "selector", sel.Method, "views", sel.Selected(), "utility", sel.Utility)
+	return sel, nil
+}
+
+func (a *Advisor) selectViews(p *Problem) (*Selection, error) {
 	in := p.Instance
 	rng := rand.New(rand.NewSource(a.Cfg.Seed + 7))
 	switch a.Cfg.Selector {
@@ -381,30 +441,32 @@ func (a *Advisor) Select(p *Problem) *Selection {
 		// them and fine-tune online (Algorithm 2's DQN-offline path).
 		if a.Cfg.RLPretrainUpdates > 0 {
 			if _, ne := a.Meta.Counts(); ne > 0 {
-				if agent, err := rl.OfflineTrain(a.Meta, opts.Agent, a.Cfg.RLPretrainUpdates); err == nil {
-					opts.Pretrained = agent
+				agent, err := rl.OfflineTrain(a.Meta, opts.Agent, a.Cfg.RLPretrainUpdates)
+				if err != nil {
+					return nil, fmt.Errorf("core: offline DQN pretraining: %w", err)
 				}
+				opts.Pretrained = agent
 			}
 		}
 		res := rl.RLView(in, opts)
 		// Persist the replay pool for future offline training.
 		res.Agent.PersistMemory(a.Meta)
-		return &Selection{Method: "RLView", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}
+		return &Selection{Method: "RLView", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}, nil
 	case SelectorBigSub:
 		res := selbase.BigSub(in, selbase.BigSubOptions{
 			Iterations: a.Cfg.Iter.Iterations,
 			Rand:       rng,
 		})
-		return &Selection{Method: "BigSub", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}
+		return &Selection{Method: "BigSub", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}, nil
 	case SelectorIterView:
 		opts := a.Cfg.Iter
 		opts.Rand = rng
 		res := mvs.IterView(in, opts)
-		return &Selection{Method: "IterView", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}
+		return &Selection{Method: "IterView", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}, nil
 	default:
 		strategy, ok := strategyOf(a.Cfg.Selector)
 		if !ok {
-			strategy = selbase.TopkBen
+			return nil, fmt.Errorf("core: unknown selector %v", a.Cfg.Selector)
 		}
 		freq := p.Frequencies()
 		k, u := selbase.BestK(in, freq, strategy)
@@ -413,7 +475,7 @@ func (a *Advisor) Select(p *Problem) *Selection {
 		for _, j := range ranking[:k] {
 			z[j] = true
 		}
-		return &Selection{Method: strategy.String(), Z: z, Utility: u, K: k}
+		return &Selection{Method: strategy.String(), Z: z, Utility: u, K: k}, nil
 	}
 }
 

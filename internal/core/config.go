@@ -4,6 +4,26 @@
 // utilities (measured, analytic-optimizer, or Wide-Deep), selects views
 // (RLView, BigSub, IterView, or greedy top-k), rewrites the workload, and
 // reports end-to-end savings.
+//
+// Exported types map onto the paper's constructs as follows:
+//
+//   - Advisor.Preprocess is the pre-process stage (Section III): it emits
+//     the candidate views Z and their associated queries Q.
+//   - Advisor.BuildProblem assembles the MVS instance (Definition 7): the
+//     benefit matrix B(q_i, v_j) = A(q_i) − A(q_i|v_j) from the configured
+//     EstimatorKind — measured on the engine, the analytic optimizer
+//     estimate, or the Wide-Deep model of Section IV — plus the view
+//     overheads O_vj and the Definition 5 overlap constants x_jk.
+//   - Advisor.Select solves the instance with the configured SelectorKind:
+//     SelectorRLView is the DQN-based Algorithm 2, SelectorIterView the
+//     iterative Z-Opt/Y-Opt optimizer, SelectorBigSub and the SelectorTopk*
+//     family the experiments' baselines.
+//   - Advisor.Apply rewrites and re-executes the workload, and Report
+//     carries Table V's columns (#q, c_q, #m, o_m, #(q|v), b_{q|v}) plus
+//     the saved-cost ratio r_c.
+//
+// Every stage is timed under the advisor.* observability spans; see
+// OBSERVABILITY.md.
 package core
 
 import (

@@ -122,7 +122,10 @@ func TestSelectAllMethodsFeasible(t *testing.T) {
 		SelectorTopkFreq, SelectorTopkOver, SelectorTopkBen, SelectorTopkNorm,
 	} {
 		a.Cfg.Selector = sk
-		sel := a.Select(p)
+		sel, err := a.Select(p)
+		if err != nil {
+			t.Fatalf("%v: %v", sk, err)
+		}
 		if sel.Method == "" || len(sel.Z) != p.Instance.NumViews() {
 			t.Errorf("%v: malformed selection %+v", sk, sel)
 		}
@@ -316,14 +319,19 @@ func TestRLViewPersistsAndReusesExperiences(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = a.Select(p)
+	if _, err := a.Select(p); err != nil {
+		t.Fatal(err)
+	}
 	_, ne := a.Meta.Counts()
 	if ne == 0 {
 		t.Fatal("RLView did not persist its replay pool to the metadata database")
 	}
 	// A second selection with pretraining enabled consumes the pool.
 	a.Cfg.RLPretrainUpdates = 50
-	sel := a.Select(p)
+	sel, err := a.Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sel.Method != "RLView" || len(sel.Z) != p.Instance.NumViews() {
 		t.Fatalf("pretrained selection malformed: %+v", sel)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"autoview/internal/metrics"
+	"autoview/internal/obs"
 	"autoview/internal/plan"
 	"autoview/internal/rewrite"
 )
@@ -45,6 +46,7 @@ func (r *Report) String() string {
 // Apply takes a selection, rewrites the full workload with the selected
 // views, executes it, and reports actual end-to-end savings.
 func (a *Advisor) Apply(p *Problem, sel *Selection) (*Report, error) {
+	defer obs.StartSpan("advisor.rewrite")()
 	pricing := a.Cfg.Pricing
 	rep := &Report{
 		Estimator:  a.Cfg.Estimator.String(),
@@ -96,6 +98,12 @@ func (a *Advisor) Apply(p *Problem, sel *Selection) (*Report, error) {
 		}
 	}
 	rep.SavedRatio = metrics.SavedCostRatio(rep.RewriteBenefit, rep.ViewOverhead, rep.RawCost)
+	obsSavedRatio.Set(rep.SavedRatio)
+	obs.Info("advisor.report",
+		"estimator", rep.Estimator, "selector", rep.Selector,
+		"queries", rep.NumQueries, "views", rep.NumViews,
+		"rewritten", rep.RewrittenQueries, "benefit", rep.RewriteBenefit,
+		"overhead", rep.ViewOverhead, "saved_ratio", rep.SavedRatio)
 	return rep, nil
 }
 
@@ -134,6 +142,7 @@ func orderOutermost(views []*rewrite.View, q *plan.Node) []*rewrite.View {
 func (a *Advisor) Run(queries []*plan.Node) (*Report, error) {
 	pre := a.Preprocess(queries)
 	if len(pre.Candidates) == 0 {
+		obs.Warn("advisor.run", "reason", "no candidates", "queries", len(queries))
 		return &Report{
 			Estimator:  a.Cfg.Estimator.String(),
 			Selector:   a.Cfg.Selector.String(),
@@ -145,6 +154,14 @@ func (a *Advisor) Run(queries []*plan.Node) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sel := a.Select(p)
-	return a.Apply(p, sel)
+	sel, err := a.Select(p)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := a.Apply(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	obsRuns.Inc()
+	return rep, nil
 }

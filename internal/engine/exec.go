@@ -5,8 +5,16 @@ import (
 	"strings"
 
 	"autoview/internal/catalog"
+	"autoview/internal/obs"
 	"autoview/internal/plan"
 	"autoview/internal/storage"
+)
+
+// Executor metrics: every plan execution (including the cost measurements
+// that feed model training) counts here; the engine.exec span times them.
+var (
+	obsExecCount = obs.Default.Counter("engine.exec.count", "plan executions (including cost measurements)")
+	obsExecRows  = obs.Default.Counter("engine.exec.rows", "result rows produced by plan executions")
 )
 
 // Result is a fully materialized relation produced by an execution.
@@ -34,11 +42,14 @@ func New(store *storage.Store) *Executor { return &Executor{Store: store} }
 
 // Execute runs the plan and returns its result plus metered usage.
 func (e *Executor) Execute(n *plan.Node) (*Result, Usage, error) {
+	defer obs.StartSpan("engine.exec")()
 	m := &meter{}
 	res, err := e.run(n, m)
 	if err != nil {
 		return nil, Usage{}, err
 	}
+	obsExecCount.Inc()
+	obsExecRows.Add(int64(len(res.Rows)))
 	u := Usage{
 		CPUOps:    m.ops,
 		PeakBytes: m.peak,

@@ -15,7 +15,17 @@ package equiv
 import (
 	"sort"
 
+	"autoview/internal/obs"
 	"autoview/internal/plan"
+)
+
+// Pre-process stage metrics (see OBSERVABILITY.md). The sub-stage spans
+// preprocess.decompose / preprocess.equiv_merge / preprocess.candidates /
+// preprocess.overlap time the four phases of Preprocess.
+var (
+	obsSubqueries = obs.Default.Counter("preprocess.subqueries", "subqueries extracted across workloads")
+	obsClusters   = obs.Default.Gauge("preprocess.clusters", "equivalence clusters in the last pre-process run")
+	obsCandidates = obs.Default.Gauge("preprocess.candidates", "candidate views |Z| in the last pre-process run")
 )
 
 // Equivalent reports whether two subqueries compute the same relation under
@@ -130,13 +140,16 @@ func Preprocess(queries []*plan.Node, opts *Options) *Result {
 	res := &Result{Subqueries: make([][]plan.Subquery, len(queries))}
 
 	// 1. Subquery extraction.
+	stop := obs.StartSpan("preprocess.decompose")
 	type memberKey struct {
 		fp plan.Fingerprint
 	}
 	byFP := make(map[memberKey]*Cluster)
+	nsub := 0
 	for qi, q := range queries {
 		subs := plan.ExtractSubqueries(q)
 		res.Subqueries[qi] = subs
+		nsub += len(subs)
 		for _, s := range subs {
 			nfp := plan.NormalizedFingerprint(s.Root)
 			key := memberKey{fp: nfp}
@@ -148,8 +161,11 @@ func Preprocess(queries []*plan.Node, opts *Options) *Result {
 			c.Members = append(c.Members, Occurrence{Query: qi, Subquery: s})
 		}
 	}
+	obsSubqueries.Add(int64(nsub))
+	stop()
 
 	// 2. Cluster assembly with deterministic IDs (sorted by fingerprint).
+	stop = obs.StartSpan("preprocess.equiv_merge")
 	res.Clusters = make([]*Cluster, 0, len(byFP))
 	for _, c := range byFP {
 		qset := make(map[int]bool)
@@ -166,9 +182,12 @@ func Preprocess(queries []*plan.Node, opts *Options) *Result {
 		c.ID = i
 		res.EquivalentPairs += c.Pairs()
 	}
+	obsClusters.Set(float64(len(res.Clusters)))
+	stop()
 
 	// 3. Candidate selection: least-overhead member of each sufficiently
 	// shared cluster.
+	stop = obs.StartSpan("preprocess.candidates")
 	minShare := opts.minShare()
 	assoc := make(map[int]bool)
 	for _, c := range res.Clusters {
@@ -195,8 +214,12 @@ func Preprocess(queries []*plan.Node, opts *Options) *Result {
 		}
 	}
 	res.AssociatedQueries = sortedKeys(assoc)
+	obsCandidates.Set(float64(len(res.Candidates)))
+	stop()
 
 	// 4. Overlap matrix over candidates (Definition 5).
+	stop = obs.StartSpan("preprocess.overlap")
+	defer stop()
 	n := len(res.Candidates)
 	res.Overlap = make([][]bool, n)
 	fps := make([]map[plan.Fingerprint]bool, n)

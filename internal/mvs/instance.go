@@ -10,6 +10,16 @@ import (
 	"fmt"
 
 	"autoview/internal/ilp"
+	"autoview/internal/obs"
+)
+
+// Y-Opt solver metric: every full BestY solve (one per Z-Opt iteration or
+// RL warm start) counts here; RecomputeYForView's incremental updates are
+// counted separately because the RL environment calls it every step.
+var (
+	obsYOptCount     = obs.Default.Counter("mvs.yopt.count", "full Y-Opt ILP solves (BestY calls)")
+	obsYOptIncCount  = obs.Default.Counter("mvs.yopt.incremental", "incremental Y-Opt updates (RecomputeYForView calls)")
+	obsIterViewIters = obs.Default.Counter("mvs.iterview.iterations", "IterView Z-Opt/Y-Opt iterations run")
 )
 
 // Instance holds the ILP constants of one MVS problem:
@@ -128,6 +138,7 @@ func (in *Instance) Feasible(s *State) bool {
 // pairwise non-overlapping (the paper's Y-Opt local ILP). It returns the
 // per-view current benefit array Bcur as well.
 func (in *Instance) BestY(z []bool) ([][]bool, []float64) {
+	obsYOptCount.Inc()
 	nq, nv := in.NumQueries(), in.NumViews()
 	y := make([][]bool, nq)
 	bcur := make([]float64, nv)
@@ -179,6 +190,7 @@ func (in *Instance) bestYRow(i int, z []bool) []bool {
 // rows can change (other queries' available view sets are untouched), so
 // this is the incremental form of BestY used by the RL environment.
 func (in *Instance) RecomputeYForView(st *State, bcur []float64, j int) {
+	obsYOptIncCount.Inc()
 	for i, row := range in.Benefit {
 		if row[j] <= 0 {
 			continue

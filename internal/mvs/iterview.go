@@ -2,6 +2,8 @@ package mvs
 
 import (
 	"math/rand"
+
+	"autoview/internal/obs"
 )
 
 // IterOptions configures IterView.
@@ -35,6 +37,7 @@ type IterResult struct {
 // initialization followed by alternating Z-Opt / Y-Opt iterations with the
 // flipping probabilities of Equation 3.
 func IterView(in *Instance, opts IterOptions) *IterResult {
+	defer obs.StartSpan("mvs.iterview")()
 	rng := opts.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
@@ -43,6 +46,7 @@ func IterView(in *Instance, opts IterOptions) *IterResult {
 	if iters <= 0 {
 		iters = 100
 	}
+	obsIterViewIters.Add(int64(iters))
 	nv := in.NumViews()
 	bmax := in.maxBenefits()
 	omax := 0.0

@@ -4,6 +4,19 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"autoview/internal/obs"
+)
+
+// Trainer metrics: samples and steps always count; the nn.train.step and
+// nn.train.reduce spans (and the samples/s gauge) are recorded only when
+// the obs registry is enabled, so the hot loop pays no clock reads
+// otherwise.
+var (
+	obsTrainSamples = obs.Default.Counter("nn.train.samples", "training samples processed (forward+backward)")
+	obsTrainSteps   = obs.Default.Counter("nn.train.steps", "mini-batch gradient steps")
+	obsTrainRate    = obs.Default.Gauge("nn.train.samples_per_sec", "throughput of the last mini-batch step")
 )
 
 // SampleFunc computes forward+backward for sample i of the current
@@ -74,6 +87,12 @@ func (t *Trainer) Parallelism() int { return len(t.workers) }
 // returns the summed per-sample losses (also accumulated in sample
 // order). The caller applies the optimizer afterwards.
 func (t *Trainer) Step(n int) float64 {
+	timing := obs.Enabled()
+	var stepStart time.Time
+	var reduceDur time.Duration
+	if timing {
+		stepStart = time.Now()
+	}
 	ZeroGrads(t.params)
 	var total float64
 	p := len(t.workers)
@@ -101,11 +120,28 @@ func (t *Trainer) Step(n int) float64 {
 			}
 			wg.Wait()
 		}
+		var reduceStart time.Time
+		if timing {
+			reduceStart = time.Now()
+		}
 		for w := 0; w < k; w++ {
 			for pi, p := range t.params {
 				addInto(p.Grad, t.workers[w].replica[pi].Grad)
 			}
 			total += t.losses[w]
+		}
+		if timing {
+			reduceDur += time.Since(reduceStart)
+		}
+	}
+	obsTrainSamples.Add(int64(n))
+	obsTrainSteps.Inc()
+	if timing {
+		stepDur := time.Since(stepStart)
+		obs.Default.ObserveSpan("nn.train.step", stepDur)
+		obs.Default.ObserveSpan("nn.train.reduce", reduceDur)
+		if s := stepDur.Seconds(); s > 0 {
+			obsTrainRate.Set(float64(n) / s)
 		}
 	}
 	return total

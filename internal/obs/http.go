@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-wide expvar registration ("autoview"),
+// which panics on duplicate names.
+var publishOnce sync.Once
+
+// Handler returns the observability endpoint:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar JSON (includes an "autoview" snapshot var)
+//	/debug/pprof  net/http/pprof profiles
+//
+// Mounting the handler also enables the registry, so spans start timing
+// as soon as a sink exists.
+func (r *Registry) Handler() http.Handler {
+	r.SetEnabled(true)
+	publishOnce.Do(func() {
+		expvar.Publish("autoview", expvar.Func(func() any {
+			snap := Default.Snapshot()
+			out := make(map[string]any, len(snap.Counters)+len(snap.Gauges))
+			for _, c := range snap.Counters {
+				out[c.Name] = c.Value
+			}
+			for _, g := range snap.Gauges {
+				out[g.Name] = g.Value
+			}
+			for _, h := range snap.Histograms {
+				out[h.Name] = map[string]any{"count": h.Count, "sum": h.Sum, "mean": h.Mean()}
+			}
+			return out
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Snapshot().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "autoview observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve binds addr (e.g. "localhost:6060" or ":0"), serves the registry's
+// Handler on it from a background goroutine, and returns the bound
+// address. The listener lives for the life of the process — binaries wire
+// this to their -obs-addr flag.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Setup wires the standard observability command-line surface shared by
+// the cmd/ binaries (-stats, -obs-addr, -log-level): it enables the
+// default registry when stats or addr is set, serves the HTTP endpoint on
+// addr, and attaches the event logger to w at the named level. It returns
+// the bound HTTP address ("" when addr is empty).
+func Setup(stats bool, addr, level string, w io.Writer) (string, error) {
+	if stats || addr != "" {
+		Enable()
+	}
+	bound := ""
+	if addr != "" {
+		var err error
+		if bound, err = Serve(addr, Default); err != nil {
+			return "", err
+		}
+	}
+	if level != "" {
+		lv, err := ParseLevel(level)
+		if err != nil {
+			return "", err
+		}
+		LogTo(w, lv)
+	}
+	return bound, nil
+}

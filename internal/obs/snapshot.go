@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CounterSnap is one counter's snapshot.
+type CounterSnap struct {
+	Name, Help string
+	Value      int64
+}
+
+// GaugeSnap is one gauge's snapshot.
+type GaugeSnap struct {
+	Name, Help string
+	Value      float64
+}
+
+// HistSnap is one histogram's snapshot. Buckets holds per-bucket counts
+// aligned with Bounds, plus one trailing +Inf bucket.
+type HistSnap struct {
+	Name, Help string
+	Bounds     []float64
+	Buckets    []int64
+	Sum        float64
+	Count      int64
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket that crosses the target rank. Observations in the
+// +Inf bucket clamp to the largest finite bound.
+func (h HistSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Buckets {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		hi := h.Bounds[len(h.Bounds)-1]
+		lo := 0.0
+		if i < len(h.Bounds) {
+			hi = h.Bounds[i]
+		}
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot is a point-in-time, name-sorted copy of a registry. Two
+// snapshots of identical metric states render identically.
+type Snapshot struct {
+	Counters   []CounterSnap
+	Gauges     []GaugeSnap
+	Histograms []HistSnap
+}
+
+// Text renders the snapshot as an aligned human-readable table (the
+// -stats output of the binaries).
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-28s %12d  %s\n", c.Name, c.Value, c.Help)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "  %-28s %12.6g  %s\n", g.Name, g.Value, g.Help)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "  %-28s count=%-6d sum=%-12.6g mean=%-10.4g p50=%-10.3g p95=%-10.3g\n",
+				h.Name, h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.95))
+		}
+	}
+	return b.String()
+}
+
+// promName maps a dotted metric name to a Prometheus identifier with the
+// autoview namespace: "advisor.select.seconds" →
+// "autoview_advisor_select_seconds".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("autoview_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (counters get the conventional _total suffix; histograms emit
+// cumulative _bucket series plus _sum and _count).
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	for _, c := range s.Counters {
+		n := promName(c.Name) + "_total"
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, c.Help, n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			n, g.Help, n, n, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", n, h.Help, n)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

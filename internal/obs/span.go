@@ -1,0 +1,55 @@
+package obs
+
+import "time"
+
+// A span is a named, timed region of the pipeline. Completing a span
+// records its duration (in seconds) into the histogram "<name>.seconds"
+// and emits a debug event "<name>" with a dur_ms field. When the registry
+// is disabled both helpers reduce to a single atomic load, so spans can
+// stay in hot paths permanently.
+
+var noop = func() {}
+
+// StartSpan begins the named span on the Default registry and returns the
+// function that completes it (use with defer).
+func StartSpan(name string) func() { return Default.StartSpan(name) }
+
+// Time runs fn under the named span on the Default registry.
+func Time(name string, fn func()) { Default.Time(name, fn) }
+
+// StartSpan begins a named span; the returned closure records the elapsed
+// time when called. Disabled registries return a no-op immediately.
+func (r *Registry) StartSpan(name string) func() {
+	if !r.enabled.Load() {
+		return noop
+	}
+	h := r.Histogram(name+".seconds", "duration of the "+name+" span")
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		h.Observe(d.Seconds())
+		Debug(name, "dur_ms", float64(d.Microseconds())/1e3)
+	}
+}
+
+// Time runs fn under the named span.
+func (r *Registry) Time(name string, fn func()) {
+	if !r.enabled.Load() {
+		fn()
+		return
+	}
+	stop := r.StartSpan(name)
+	fn()
+	stop()
+}
+
+// ObserveSpan records an externally measured duration into the named
+// span's histogram (for callers that cannot wrap the region in a closure,
+// e.g. accumulated sub-phase time inside a loop). It is a no-op when the
+// registry is disabled.
+func (r *Registry) ObserveSpan(name string, d time.Duration) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.Histogram(name+".seconds", "duration of the "+name+" span").Observe(d.Seconds())
+}

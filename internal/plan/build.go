@@ -5,9 +5,12 @@ import (
 	"strings"
 
 	"autoview/internal/catalog"
+	"autoview/internal/obs"
 	"autoview/internal/sqlparse"
 	"autoview/internal/storage"
 )
+
+var obsParsed = obs.Default.Counter("parse.queries", "SQL statements parsed and bound into plans")
 
 // BindError reports a semantic error while turning an AST into a plan.
 type BindError struct{ Msg string }
@@ -27,10 +30,12 @@ func Build(stmt *sqlparse.SelectStmt, cat *catalog.Catalog) (*Node, error) {
 
 // Parse parses SQL text and builds its plan in one step.
 func Parse(sql string, cat *catalog.Catalog) (*Node, error) {
+	defer obs.StartSpan("parse.query")()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	obsParsed.Inc()
 	return Build(stmt, cat)
 }
 

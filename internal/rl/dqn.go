@@ -14,6 +14,14 @@ import (
 
 	"autoview/internal/mvs"
 	"autoview/internal/nn"
+	"autoview/internal/obs"
+)
+
+// DQN update metrics: one rl.learn.count tick (and, when obs is enabled,
+// one rl.learn span observation) per replay-batch update.
+var (
+	obsLearnCount = obs.Default.Counter("rl.learn.count", "DQN replay-batch updates")
+	obsLearnLoss  = obs.Default.Gauge("rl.learn.loss", "mean loss of the last DQN update")
 )
 
 // FeatureDim is the width of the per-action (e,a) feature vector fed to
@@ -228,6 +236,7 @@ func (a *Agent) Learn() float64 {
 	if len(a.mem) == 0 {
 		return 0
 	}
+	defer obs.StartSpan("rl.learn")()
 	n := a.Cfg.BatchSize
 	if n > len(a.mem) {
 		n = len(a.mem)
@@ -246,6 +255,8 @@ func (a *Agent) Learn() float64 {
 	if a.target != nil && a.learnCalls%a.Cfg.TargetSync == 0 {
 		copyParams(a.target.Params(), a.QNet.Params())
 	}
+	obsLearnCount.Inc()
+	obsLearnLoss.Set(loss / float64(n))
 	return loss / float64(n)
 }
 

@@ -4,6 +4,18 @@ import (
 	"math/rand"
 
 	"autoview/internal/mvs"
+	"autoview/internal/obs"
+)
+
+// RLView loop metrics (Algorithm 2): episode progress, the decaying
+// exploration rate, the replay-pool size, and how many z-flips each
+// episode takes before terminating.
+var (
+	obsEpisodes   = obs.Default.Counter("rl.episodes", "RLView episodes completed")
+	obsFlips      = obs.Default.Counter("rl.flips", "environment steps (z-flips) taken")
+	obsEpsilon    = obs.Default.Gauge("rl.epsilon", "exploration rate of the current episode")
+	obsReplaySize = obs.Default.Gauge("rl.replay.size", "experiences in the replay memory")
+	obsEpFlips    = obs.Default.Histogram("rl.episode.flips", "z-flips per episode", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 )
 
 // Options configures RLView (Algorithm 2).
@@ -125,6 +137,7 @@ func RLView(in *mvs.Instance, opts Options) *Result {
 
 	for ep := 0; ep < opts.Epochs; ep++ {
 		epsilon := opts.Epsilon * (1 - float64(ep)/float64(opts.Epochs))
+		obsEpsilon.Set(epsilon)
 		// Line 7: e_0 = ⟨Z_0, Y_0⟩.
 		st := z0.Clone()
 		y, bcur := in.BestY(st.Z)
@@ -177,6 +190,10 @@ func RLView(in *mvs.Instance, opts Options) *Result {
 			rPrev = rNext
 			feats = nextFeats
 			if terminal {
+				obsEpisodes.Inc()
+				obsFlips.Add(int64(t + 1))
+				obsEpFlips.Observe(float64(t + 1))
+				obsReplaySize.Set(float64(agent.MemoryLen()))
 				break
 			}
 		}

@@ -12,7 +12,9 @@
 //	out:   Ŷ  = FC6(ReLU(FC5(Dw, Z2)))         (regressor)
 //
 // where Dm is the schema encoding and De the plan sequence encoding of the
-// query and view plans (internal/featenc).
+// query and view plans (internal/featenc). Model.Fit runs the mini-batch
+// training loop of Algorithm 1 over measured (q, v, A(q|v)) samples;
+// Model.Predict serves Â(q|v) to the benefit estimator.
 package widedeep
 
 import (
@@ -22,6 +24,16 @@ import (
 
 	"autoview/internal/featenc"
 	"autoview/internal/nn"
+	"autoview/internal/obs"
+)
+
+// W-D estimator metrics: every Predict counts (and is timed by the
+// wd.infer span when obs is enabled); Fit reports per-epoch training loss
+// through the wd.train.loss gauge and times whole fits under wd.train.
+var (
+	obsInferCount  = obs.Default.Counter("wd.infer.count", "W-D cost-model inferences (Predict calls)")
+	obsTrainEpochs = obs.Default.Counter("wd.train.epochs", "W-D training epochs completed")
+	obsTrainLoss   = obs.Default.Gauge("wd.train.loss", "mean training loss of the last W-D epoch")
 )
 
 // Config sizes the network.
@@ -211,6 +223,8 @@ func addVecs(a, b nn.Vec) nn.Vec {
 // Predict estimates A(q|v) for one feature set. The model must have been
 // trained (Fit) first.
 func (m *Model) Predict(f featenc.Features) float64 {
+	defer obs.StartSpan("wd.infer")()
+	obsInferCount.Inc()
 	if m.Norm == nil {
 		m.Norm = featenc.FitNormalizer(nil)
 	}
@@ -259,6 +273,7 @@ func (m *Model) Fit(samples []Sample, cfg TrainConfig) ([]float64, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("widedeep: no training samples")
 	}
+	defer obs.StartSpan("wd.train")()
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -315,6 +330,9 @@ func (m *Model) Fit(samples []Sample, cfg TrainConfig) ([]float64, error) {
 		}
 		meanLoss := epochLoss / float64(batches)
 		losses = append(losses, meanLoss)
+		obsTrainEpochs.Inc()
+		obsTrainLoss.Set(meanLoss)
+		obs.Debug("wd.epoch", "epoch", epoch, "loss", meanLoss)
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, meanLoss)
 		}
