@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-train bench-obs vet lint
+.PHONY: build test test-race bench bench-train bench-obs vet lint autoviewlint
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages that run concurrent training:
-# the nn.Trainer worker pool, core's parallel benefit measurement, and
-# rl's replay-batch Q-updates. Short mode keeps it CI-friendly.
+# Race-detector pass over the whole tree. Short mode keeps it
+# CI-friendly; the concurrent hot spots (the nn.Trainer worker pool,
+# core's parallel benefit measurement, rl's replay-batch Q-updates, and
+# the obs HTTP endpoint) all exercise their goroutines under -short.
 test-race:
-	$(GO) test -race -short ./internal/nn/... ./internal/core/... ./internal/rl/...
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -28,8 +29,15 @@ bench-obs:
 vet:
 	$(GO) vet ./...
 
-# Formatting + vet gate; fails listing any file gofmt would rewrite.
-lint:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+# Formatting (simplify mode) + vet + the repo's own analyzer suite
+# (LINTING.md); fails listing any file gofmt -s would rewrite.
+lint: autoviewlint
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/autoviewlint ./...
+
+# Build the determinism/observability analyzer suite (internal/lint)
+# as a go vet tool. Also runnable standalone: bin/autoviewlint ./...
+autoviewlint:
+	$(GO) build -o bin/autoviewlint ./cmd/autoviewlint

@@ -93,7 +93,7 @@ func main() {
 		for _, s := range test {
 			pred := est.Predict(s)
 			mae += math.Abs(pred - s.Actual)
-			if s.Actual != 0 {
+			if s.Actual != 0 { //lint:allow floateq exact zero guards division by zero
 				mape += math.Abs((pred - s.Actual) / s.Actual)
 				n++
 			}

@@ -126,7 +126,7 @@ func (g *GBM) buildTree(xs [][]float64, target []float64, idx []int, depth int) 
 				continue
 			}
 			// Skip ties: can't split between equal feature values.
-			if xs[i][f] == xs[sorted[pos+1]][f] {
+			if xs[i][f] == xs[sorted[pos+1]][f] { //lint:allow floateq tie-skip compares stored feature values, never computed sums
 				continue
 			}
 			lossAfter := (lSq - lSum*lSum/nl) + (rSq - rSum*rSum/nr)

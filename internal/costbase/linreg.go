@@ -42,7 +42,7 @@ func (l *LinearRegressor) Fit(train []Sample) error {
 		copy(row, x)
 		row[d-1] = 1
 		for i := 0; i < d; i++ {
-			if row[i] == 0 {
+			if row[i] == 0 { //lint:allow floateq exact-zero sparsity fast path on stored features
 				continue
 			}
 			for j := 0; j < d; j++ {
@@ -92,7 +92,7 @@ func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
-			if f == 0 {
+			if f == 0 { //lint:allow floateq exact-zero fast path; nonzero multipliers still eliminate
 				continue
 			}
 			for c := col; c < n; c++ {

@@ -166,6 +166,9 @@ func TestFig9RiseAndFall(t *testing.T) {
 }
 
 func TestTab4Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tab4 trains a DQN per dataset; skipped in -short")
+	}
 	r, err := Tab4(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -208,6 +211,9 @@ func TestTab4Claims(t *testing.T) {
 }
 
 func TestFig10StabilityClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 runs RLView and IterView to convergence; skipped in -short")
+	}
 	r, err := Fig10(Quick)
 	if err != nil {
 		t.Fatal(err)

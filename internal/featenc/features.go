@@ -2,6 +2,7 @@ package featenc
 
 import (
 	"math"
+	"sort"
 
 	"autoview/internal/catalog"
 	"autoview/internal/plan"
@@ -44,8 +45,15 @@ func Extract(q, v *plan.Node, cat *catalog.Catalog) Features {
 	for _, t := range v.Tables() {
 		tables[t] = true
 	}
-	var numTables, numCols, totalRows, totalBytes, maxRows float64
+	// Iterate table names in sorted order: the schema-keyword sequence
+	// and the float sums below must not depend on map iteration order.
+	names := make([]string, 0, len(tables))
 	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var numTables, numCols, totalRows, totalBytes, maxRows float64
+	for _, name := range names {
 		t, ok := cat.Table(name)
 		if !ok {
 			continue

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. After any
+// arithmetic, exact FP equality encodes an assumption about rounding
+// that a re-ordered reduction (e.g. a different Parallelism setting)
+// silently invalidates — the bug class the data-parallel trainer's
+// bit-identical guarantee exists to prevent. Compare against an epsilon
+// or math.Abs(a-b) <= tol instead.
+//
+// Two shapes are deliberately not flagged:
+//
+//   - constant comparisons (both operands compile-time constants);
+//   - the NaN self-test `x != x` / `x == x`.
+//
+// Comparisons against an exact sentinel (x == 0) are still flagged;
+// when the zero truly is exact — an uninitialized-field check, a
+// documented sentinel — suppress with //lint:allow floateq <reason>.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands outside _test.go",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+			if !isFloat(defaultType(xt)) && !isFloat(defaultType(yt)) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded: exact by construction
+			}
+			if isSelfCompare(pass.Info, bin) {
+				return true // NaN test
+			}
+			pass.Reportf(bin.OpPos, "floating-point %s comparison is exact and breaks under re-ordered reductions; compare with a tolerance (or //lint:allow floateq if the value is a never-computed sentinel)", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// defaultType resolves untyped constants to their default type so an
+// untyped 0 compared against a float64 counts as float.
+func defaultType(tv types.TypeAndValue) types.Type {
+	if tv.Type == nil {
+		return types.Typ[types.Invalid]
+	}
+	return types.Default(tv.Type)
+}
+
+// isSelfCompare reports whether both operands are the same simple
+// variable or selector chain (`x != x`, `s.v == s.v`) — the idiomatic
+// NaN check.
+func isSelfCompare(info *types.Info, bin *ast.BinaryExpr) bool {
+	return samePath(info, ast.Unparen(bin.X), ast.Unparen(bin.Y))
+}
+
+func samePath(info *types.Info, a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && info.ObjectOf(a) != nil && info.ObjectOf(a) == info.ObjectOf(b)
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && samePath(info, ast.Unparen(a.X), ast.Unparen(b.X))
+	}
+	return false
+}

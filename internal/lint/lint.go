@@ -1,0 +1,215 @@
+// Package lint is a repo-specific static-analysis suite enforcing the
+// invariants the reproduction's guarantees rest on: bit-identical
+// training for any Parallelism setting, instrumentation that never
+// perturbs RNG state, and golden-loss-trace stability. The analyzers
+// mirror the golang.org/x/tools go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) but are built on the standard library's go/ast + go/types
+// only, so the module keeps zero external dependencies.
+//
+// The suite ships five analyzers (see LINTING.md for the catalog):
+//
+//   - randsource: no ambient math/rand calls or time-seeded sources;
+//     all randomness flows through an explicitly seeded *rand.Rand.
+//   - maporder: no map-iteration-order leakage into slices, float
+//     accumulators, or RNG draws.
+//   - spanend: every obs.StartSpan result is ended (normally by defer).
+//   - floateq: no ==/!= between floating-point operands outside tests.
+//   - errdiscard: no silently dropped error returns in internal/.
+//
+// Analyzers inspect non-test files only (the loader feeds them GoFiles,
+// which excludes *_test.go); test-file hygiene stays with go vet.
+// Intentional violations are suppressed with a trailing or preceding
+//
+//	//lint:allow <name> <reason>
+//
+// comment naming the analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run is invoked once per
+// loaded package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments.
+	Name string
+	// Doc is the one-line invariant statement shown by -help.
+	Doc string
+	// Run analyzes a single package.
+	Run func(*Pass) error
+}
+
+// A Pass carries one package's syntax and type information to an
+// analyzer, plus the sink for its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzers returns the full suite in catalog order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{RandSource, MapOrder, SpanEnd, FloatEq, ErrDiscard}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// internalOnly marks analyzers that run only on packages under
+// internal/ (per-analyzer scope applied by the drivers, not by Run, so
+// fixture tests can exercise the analyzer on any package path).
+var internalOnly = map[string]bool{"errdiscard": true}
+
+// AppliesTo reports whether the analyzer's package scope includes the
+// import path.
+func AppliesTo(a *Analyzer, pkgPath string) bool {
+	if internalOnly[a.Name] {
+		return strings.Contains(pkgPath, "internal/")
+	}
+	return true
+}
+
+// RunAnalyzers applies every analyzer (within its scope) to each
+// package, drops //lint:allow-suppressed findings, and returns the
+// remaining diagnostics in file/position order.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !AppliesTo(a, pkg.Pkg.Path()) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Pkg.Path(), err)
+			}
+		}
+	}
+	diags = filterSuppressed(diags, pkgs)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowKey identifies a (file, line) pair that a suppression comment
+// covers.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowedLines maps every line covered by a //lint:allow comment to the
+// analyzer names it waives. A trailing comment covers its own line; a
+// standalone comment line covers the line below it.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[allowKey][]string {
+	allowed := make(map[allowKey][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+				if !ok {
+					continue
+				}
+				names := strings.FieldsFunc(strings.TrimSpace(text), func(r rune) bool {
+					return r == ',' || r == ' '
+				})
+				if len(names) == 0 {
+					continue
+				}
+				// Everything after the first comma-free token run is a
+				// free-form reason; only leading tokens that match an
+				// analyzer name count.
+				var waived []string
+				for _, n := range names {
+					if ByName(n) == nil && n != "all" {
+						break
+					}
+					waived = append(waived, n)
+				}
+				pos := fset.Position(c.Pos())
+				for _, l := range []int{pos.Line, pos.Line + 1} {
+					k := allowKey{pos.Filename, l}
+					allowed[k] = append(allowed[k], waived...)
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+func filterSuppressed(diags []Diagnostic, pkgs []*Package) []Diagnostic {
+	allowed := make(map[allowKey][]string)
+	for _, pkg := range pkgs {
+		for k, v := range allowedLines(pkg.Fset, pkg.Files) {
+			allowed[k] = append(allowed[k], v...)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		names := allowed[allowKey{d.Pos.Filename, d.Pos.Line}]
+		waived := false
+		for _, n := range names {
+			if n == d.Analyzer || n == "all" {
+				waived = true
+				break
+			}
+		}
+		if !waived {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` loops over maps whose bodies leak the
+// nondeterministic iteration order into program state: appending to a
+// slice that outlives the loop, accumulating into a floating-point
+// variable (FP addition is not associative, so visit order changes the
+// rounding), or drawing from an RNG (the per-iteration draw sequence
+// becomes order-dependent). Any of these silently breaks the repo's
+// golden-loss traces.
+//
+// The canonical fix — collect the keys, sort, then iterate the sorted
+// slice — is recognized: appends are tolerated when the target slice is
+// later passed to a sort.* / slices.Sort* call in the same function.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map-range loops that leak iteration order into slices, float accumulators, or RNG draws",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.Info.TypeOf(rng.X); t == nil || !isMapType(t) {
+				return true
+			}
+			checkMapRangeBody(pass, rng, enclosingFunc(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, fn ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// append(s, ...) into a slice that outlives the loop.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					if root, name := rootIdent(n.Args[0]); root != nil {
+						obj := pass.Info.ObjectOf(root)
+						if obj != nil && !declaredWithin(obj, rng) && !sortedLater(pass, fn, obj, rng.End()) {
+							pass.Reportf(n.Pos(), "append to %s inside a map-range loop records the nondeterministic iteration order; sort the keys first (or sort %s afterwards)", name, name)
+						}
+					}
+				}
+				return true
+			}
+			// A draw from an explicitly seeded RNG is still
+			// order-dependent when the draw sequence follows map order.
+			if fn := calleeFunc(pass.Info, n); fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isRandRand(sig.Recv().Type()) {
+					pass.Reportf(n.Pos(), "RNG draw inside a map-range loop makes the draw sequence follow the nondeterministic iteration order; iterate sorted keys instead")
+				}
+			}
+		case *ast.AssignStmt:
+			checkFloatAccum(pass, n, rng)
+		}
+		return true
+	})
+}
+
+// checkFloatAccum flags `acc += x`, `acc -= x`, `acc *= x`, `acc /= x`,
+// and `acc = acc + x`-style statements where acc is a floating-point
+// variable declared outside the loop.
+func checkFloatAccum(pass *Pass, assign *ast.AssignStmt, rng *ast.RangeStmt) {
+	for i, lhs := range assign.Lhs {
+		root, name := rootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		obj := pass.Info.ObjectOf(root)
+		t := pass.Info.TypeOf(lhs)
+		if obj == nil || t == nil || declaredWithin(obj, rng) || !isFloat(t) {
+			continue
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			pass.Reportf(assign.Pos(), "floating-point accumulation into %s inside a map-range loop is order-dependent (FP addition is not associative); iterate sorted keys instead", name)
+		case token.ASSIGN:
+			if i < len(assign.Rhs) && mentionsObject(pass.Info, assign.Rhs[i], obj) {
+				pass.Reportf(assign.Pos(), "floating-point accumulation into %s inside a map-range loop is order-dependent (FP addition is not associative); iterate sorted keys instead", name)
+			}
+		}
+	}
+}
+
+// rootIdent resolves an append target to its base identifier: `s` for
+// plain slices, `f` for field chains like f.Schema (with the rendered
+// chain as name). Index/call roots return nil.
+func rootIdent(expr ast.Expr) (*ast.Ident, string) {
+	name := ""
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e, e.Name + name
+		case *ast.SelectorExpr:
+			name = "." + e.Sel.Name + name
+			expr = e.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// mentionsObject reports whether expr references obj.
+func mentionsObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedLater reports whether, after pos in fn, the slice object is
+// passed to a sort.* or slices.Sort* function — the sorted-keys idiom
+// that restores determinism.
+func sortedLater(pass *Pass, fn ast.Node, slice types.Object, pos token.Pos) bool {
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || sorted {
+			return !sorted
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		pkg := callee.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass.Info, arg, slice) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

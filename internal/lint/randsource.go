@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RandSource forbids ambient math/rand state: package-level functions
+// like rand.Intn draw from a process-global, racy source that the
+// seeded-RNG plumbing (core.Config.Seed) cannot control, and
+// time-seeded sources change on every run. Both break the bit-identical
+// training and golden-loss-trace guarantees. Constructors (rand.New,
+// rand.NewSource, ...) stay legal — all randomness must flow through an
+// explicitly seeded *rand.Rand.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc:  "forbid ambient math/rand functions and time-seeded RNG sources",
+	Run:  runRandSource,
+}
+
+// randConstructors are the math/rand package-level functions that do
+// not touch the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runRandSource(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pass.Info.ObjectOf(n.Sel).(*types.Func)
+				if !ok || !isRandPkg(fn.Pkg()) || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(n.Pos(), "ambient %s.%s draws from the process-global source; use an explicitly seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil || !isRandPkg(fn.Pkg()) || !randConstructors[fn.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if pos, ok := findTimeNow(pass.Info, arg); ok {
+						pass.Reportf(pos, "time-seeded RNG is different on every run; seed %s.%s from the pipeline seed (core.Config.Seed)", fn.Pkg().Name(), fn.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findTimeNow reports the position of a time.Now call anywhere inside
+// expr (covering time.Now().UnixNano() and friends). Nested rand
+// constructors are not descended into — rand.New(rand.NewSource(now))
+// reports once, at the inner constructor.
+func findTimeNow(info *types.Info, expr ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if isRandPkg(fn.Pkg()) && randConstructors[fn.Name()] {
+			return false
+		}
+		if fn.Name() == "Now" && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

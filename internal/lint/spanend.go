@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd checks that every span opened with obs.StartSpan (package
+// function or (*obs.Registry).StartSpan method) is completed: the
+// returned stop closure must be deferred or called. A started-but-never
+// -ended span records nothing — the histogram silently loses the stage
+// — which is exactly the failure mode OBSERVABILITY.md's catalog is
+// meant to rule out.
+//
+// Accepted shapes:
+//
+//	defer obs.StartSpan("x")()          // canonical
+//	stop := obs.StartSpan("x"); ... stop()  // or defer stop()
+//
+// Flagged shapes:
+//
+//	obs.StartSpan("x")       // stop closure discarded
+//	_ = obs.StartSpan("x")   // ditto, explicitly
+//	stop := obs.StartSpan("x") // stop never called on any path
+//
+// A stop closure that escapes (stored in a struct, passed along,
+// returned) is assumed handled.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every obs.StartSpan span must be ended on all paths, normally by defer",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isStartSpanCall(pass.Info, call) {
+				return true
+			}
+			checkSpanUse(pass, call, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// isStartSpanCall matches obs.StartSpan(...) and r.StartSpan(...) for
+// *obs.Registry r.
+func isStartSpanCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "StartSpan" || !isObsPkg(fn.Pkg()) {
+		return false
+	}
+	return true
+}
+
+func checkSpanUse(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of StartSpan is discarded, so the span is never ended; use `defer %s()`", exprString(call))
+	case *ast.CallExpr:
+		// `obs.StartSpan("x")()` — the span is ended (immediately,
+		// which is odd but balanced) or the closure is an argument and
+		// escapes; either way it is accounted for.
+	case *ast.DeferStmt, *ast.GoStmt:
+		// `defer obs.StartSpan("x")` defers the *start* and discards
+		// the stop closure — almost certainly a missing trailing ().
+		pass.Reportf(call.Pos(), "result of StartSpan is discarded, so the span is never ended; did you mean `defer %s()`?", exprString(call))
+	case *ast.AssignStmt:
+		checkSpanAssign(pass, call, parent, stack)
+	default:
+		// defer obs.StartSpan("x")() reaches here as the CallExpr case
+		// (the deferred call's Fun); other contexts (return, composite
+		// literal, channel send) let the closure escape — assume the
+		// receiver ends it.
+	}
+}
+
+func checkSpanAssign(pass *Pass, call *ast.CallExpr, assign *ast.AssignStmt, stack []ast.Node) {
+	// Locate which LHS receives the stop closure.
+	idx := -1
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) == call {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx >= len(assign.Lhs) {
+		return
+	}
+	lhs, ok := ast.Unparen(assign.Lhs[idx]).(*ast.Ident)
+	if !ok {
+		return // stored through a field or index: escapes, assume handled
+	}
+	if lhs.Name == "_" {
+		pass.Reportf(call.Pos(), "stop closure of StartSpan assigned to _, so the span is never ended")
+		return
+	}
+	obj := pass.Info.ObjectOf(lhs)
+	fn := enclosingFunc(stack)
+	if obj == nil || fn == nil {
+		return
+	}
+	if !stopUsed(pass.Info, funcBody(fn), obj, lhs) {
+		pass.Reportf(call.Pos(), "stop closure %s of StartSpan is never called, so the span is never ended; add `defer %s()`", lhs.Name, lhs.Name)
+	}
+}
+
+// stopUsed reports whether the stop-closure object is called, deferred,
+// or escapes (any use other than its defining identifier counts as
+// potentially ending the span; the compiler already rejects fully
+// unused variables, so the interesting case is zero uses besides
+// re-assignment).
+func stopUsed(info *types.Info, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	if body == nil {
+		return true
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || info.ObjectOf(id) != obj {
+			return !used
+		}
+		used = true
+		return false
+	})
+	return used
+}
+
+func exprString(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			return x.Name + "." + sel.Sel.Name + "(...)"
+		}
+	}
+	return "StartSpan(...)"
+}

@@ -1,0 +1,75 @@
+// Fixtures for the maporder analyzer.
+package maporder
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func appendLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out`
+	}
+	return out
+}
+
+type acc struct {
+	vals []int
+	sum  float64
+}
+
+func fieldLeak(m map[string]int, a *acc) {
+	for _, v := range m {
+		a.vals = append(a.vals, v) // want `append to a.vals`
+		a.sum += float64(v)        // want `floating-point accumulation into a.sum`
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+func rngDraw(m map[string]int, rng *rand.Rand) int {
+	n := 0
+	for range m {
+		n += rng.Intn(3) // want `RNG draw inside a map-range loop`
+	}
+	return n
+}
+
+// Guard: the sorted-keys idiom — append then sort — is the canonical
+// fix and must not be flagged.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Guard: integer accumulation is exact, hence order-independent.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Guard: a slice local to the loop body never observes cross-iteration
+// order.
+func localAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+// Package obs is a minimal shim of autoview/internal/obs for the
+// spanend fixtures: same names, no behavior.
+package obs
+
+// Registry mirrors the real registry's span surface.
+type Registry struct{}
+
+// StartSpan mirrors obs.StartSpan.
+func StartSpan(name string) func() { return func() { _ = name } }
+
+// StartSpan mirrors (*obs.Registry).StartSpan.
+func (r *Registry) StartSpan(name string) func() { return func() { _ = name } }
+
+// Time mirrors obs.Time.
+func Time(name string, fn func()) { fn() }

@@ -1,0 +1,31 @@
+// Fixtures for the randsource analyzer.
+package randsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+func ambient() int {
+	return rand.Intn(10) // want `ambient rand.Intn`
+}
+
+func ambientValue() func() float64 {
+	return rand.Float64 // want `ambient rand.Float64`
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-seeded RNG`
+}
+
+// Guard: explicitly seeded construction and draws are the sanctioned
+// pattern and must not be flagged.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Guard: a seed derived from anything but the wall clock is fine.
+func derivedSeed(base int64) *rand.Rand {
+	return rand.New(rand.NewSource(base + 7))
+}

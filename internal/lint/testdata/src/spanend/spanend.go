@@ -1,0 +1,51 @@
+// Fixtures for the spanend analyzer.
+package spanend
+
+import "obs"
+
+func discarded() {
+	obs.StartSpan("parse") // want `never ended`
+}
+
+func blank() {
+	_ = obs.StartSpan("parse") // want `never ended`
+}
+
+func deferredStart() {
+	defer obs.StartSpan("parse") // want `never ended`
+}
+
+func registryDiscard(r *obs.Registry) {
+	r.StartSpan("exec") // want `never ended`
+}
+
+// Guard: the canonical deferred stop.
+func canonical() {
+	defer obs.StartSpan("parse")()
+}
+
+// Guard: stop held in a variable and called on the way out.
+func stopVar() {
+	stop := obs.StartSpan("parse")
+	work()
+	stop()
+}
+
+// Guard: stop deferred from a variable.
+func stopDefer(r *obs.Registry) {
+	stop := r.StartSpan("exec")
+	defer stop()
+	work()
+}
+
+// Guard: the closure escapes to the caller, which owns ending it.
+func escapes() func() {
+	return obs.StartSpan("parse")
+}
+
+// Guard: obs.Time brackets the span itself.
+func timed() {
+	obs.Time("parse", work)
+}
+
+func work() {}

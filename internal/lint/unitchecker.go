@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// This file implements the `go vet -vettool=` side of the suite: the go
+// command probes the tool with -V=full for a cache key, then invokes it
+// once per package unit with a JSON config file (the same contract
+// golang.org/x/tools/go/analysis/unitchecker speaks). Reimplementing
+// the contract on the stdlib keeps the module dependency-free while
+// letting the suite ride go vet's per-package result caching.
+
+// VetConfig mirrors the fields of the go command's vet.cfg files that
+// the suite consumes.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit loads the unit described by the vet config file, runs the
+// analyzers, and returns the diagnostics (test files excluded — go vet
+// also dispatches test variants of each package, and the suite's
+// contract covers non-test code only).
+func RunVetUnit(analyzers []*Analyzer, cfgFile string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOnly {
+		// Dependency unit: the go command only wants this package's
+		// facts. The suite exports none, so just write the vetx file.
+		return nil, writeVetx(cfg.VetxOutput)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compilerOr(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	// The lookup receives canonical paths; route import paths through
+	// ImportMap first.
+	mapped := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		return imp.Import(path)
+	})
+
+	pkg, err := checkPackage(fset, mapped, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeVetx(cfg.VetxOutput)
+		}
+		return nil, err
+	}
+
+	scoped := analyzers[:0:0]
+	for _, a := range analyzers {
+		if AppliesTo(a, cfg.ImportPath) {
+			scoped = append(scoped, a)
+		}
+	}
+	diags, err := RunAnalyzers(scoped, []*Package{pkg})
+	if err != nil {
+		return nil, err
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !isTestFile(d.Pos.Filename) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, writeVetx(cfg.VetxOutput)
+}
+
+// writeVetx writes the (empty — the suite exports no facts) vetx file
+// the go command caches for this unit.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, nil, 0o666)
+}
+
+func compilerOr(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -26,7 +26,7 @@ func MAPE(y, yhat []float64) float64 {
 	var sum float64
 	n := 0
 	for i := range y {
-		if y[i] == 0 {
+		if y[i] == 0 { //lint:allow floateq exact zero guards division by zero
 			continue
 		}
 		sum += math.Abs((y[i] - yhat[i]) / y[i])
@@ -80,7 +80,7 @@ func SavedCostRatio(benefit, overhead, rawCost float64) float64 {
 // Improvement is the paper's headline relative improvement
 // (r_new − r_old)/r_old · 100%.
 func Improvement(rNew, rOld float64) float64 {
-	if rOld == 0 {
+	if rOld == 0 { //lint:allow floateq exact zero guards division by zero
 		return 0
 	}
 	return 100 * (rNew - rOld) / rOld

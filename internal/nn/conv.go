@@ -190,7 +190,7 @@ func (b *ConvBlock) Forward(m []Vec) ([]Vec, MatBackward) {
 		for t := 0; t < T; t++ {
 			for d := 0; d < D; d++ {
 				g := dConv[t][d]
-				if g == 0 {
+				if g == 0 { //lint:allow floateq exact-zero sparsity fast path in backprop
 					continue
 				}
 				dbias += g

@@ -50,7 +50,7 @@ func (l *Linear) Forward(x Vec) (Vec, Backward) {
 		dx := zeros(len(x))
 		for r := 0; r < out; r++ {
 			g := dy[r]
-			if g == 0 {
+			if g == 0 { //lint:allow floateq exact-zero sparsity fast path in backprop
 				continue
 			}
 			row := l.W.Row(r)

@@ -95,7 +95,7 @@ func (c *LSTMCell) Step(x, h, cPrev Vec) (hNext, cNext Vec, back StepBackward) {
 		dxh := zeros(len(xh))
 		for r := 0; r < 4*H; r++ {
 			gr := dPre[r]
-			if gr == 0 {
+			if gr == 0 { //lint:allow floateq exact-zero sparsity fast path in backprop
 				continue
 			}
 			row := c.W.Row(r)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -57,7 +58,7 @@ func (r *Registry) Handler() http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "autoview observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		_, _ = fmt.Fprint(w, "autoview observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -72,7 +73,11 @@ func Serve(addr string, r *Registry) (string, error) {
 		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: r.Handler()}
-	go srv.Serve(ln)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			Error("obs.serve", "addr", ln.Addr().String(), "err", err.Error())
+		}
+	}()
 	return ln.Addr().String(), nil
 }
 

@@ -129,7 +129,8 @@ func (l *Logger) Log(level Level, event string, kv ...any) {
 	b.WriteByte('\n')
 	l.mu.Lock()
 	if l.w != nil {
-		io.WriteString(l.w, b.String())
+		// A failed log write has nowhere to be reported; drop it.
+		_, _ = io.WriteString(l.w, b.String())
 	}
 	l.mu.Unlock()
 }

@@ -127,24 +127,24 @@ func promName(name string) string {
 func (s Snapshot) WritePrometheus(w io.Writer) {
 	for _, c := range s.Counters {
 		n := promName(c.Name) + "_total"
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, c.Help, n, n, c.Value)
+		_, _ = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, c.Help, n, n, c.Value)
 	}
 	for _, g := range s.Gauges {
 		n := promName(g.Name)
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		_, _ = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
 			n, g.Help, n, n, formatFloat(g.Value))
 	}
 	for _, h := range s.Histograms {
 		n := promName(h.Name)
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", n, h.Help, n)
+		_, _ = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", n, h.Help, n)
 		var cum int64
 		for i, bound := range h.Bounds {
 			cum += h.Buckets[i]
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatFloat(bound), cum)
+			_, _ = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatFloat(bound), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
-		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.Sum))
-		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+		_, _ = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		_, _ = fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.Sum))
+		_, _ = fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
 	}
 }
 

@@ -7,6 +7,7 @@ package rewrite
 
 import (
 	"fmt"
+	"sort"
 
 	"autoview/internal/catalog"
 	"autoview/internal/engine"
@@ -129,12 +130,14 @@ func (m *Manager) View(fp plan.Fingerprint) (*View, bool) {
 	return v, ok
 }
 
-// Views returns all managed views.
+// Views returns all managed views in fingerprint order, so callers that
+// iterate the result (rewrite passes, reports) stay deterministic.
 func (m *Manager) Views() []*View {
 	out := make([]*View, 0, len(m.views))
 	for _, v := range m.views {
 		out = append(out, v)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
 	return out
 }
 

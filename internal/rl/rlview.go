@@ -63,7 +63,7 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Epsilon < 0 {
 		o.Epsilon = 0
-	} else if o.Epsilon == 0 {
+	} else if o.Epsilon == 0 { //lint:allow floateq zero value is the unset-field sentinel
 		o.Epsilon = 0.1
 	}
 	if o.MaxStepsFactor <= 0 {

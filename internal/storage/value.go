@@ -61,7 +61,7 @@ func (v Value) Equal(o Value) bool {
 	if v.Kind == catalog.TypeString || o.Kind == catalog.TypeString {
 		return v.Kind == o.Kind && v.S == o.S
 	}
-	return v.AsFloat() == o.AsFloat()
+	return v.AsFloat() == o.AsFloat() //lint:allow floateq SQL value equality is exact by definition
 }
 
 // Compare returns -1, 0, or +1. String compares lexicographically with

@@ -45,7 +45,7 @@ func (m *Model) Load(r io.Reader) error {
 		return err
 	}
 	m.yMean, m.yStd = snap.YMean, snap.YStd
-	if m.yStd == 0 {
+	if m.yStd == 0 { //lint:allow floateq zero std is the degenerate-snapshot sentinel
 		m.yStd = 1
 	}
 	m.Norm = snap.Norm

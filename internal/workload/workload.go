@@ -128,7 +128,7 @@ func CumulativeRedundancy(rows []ProjectRedundancy) []float64 {
 	sort.Slice(sorted, func(a, b int) bool {
 		ra := ratio(sorted[a])
 		rb := ratio(sorted[b])
-		if ra != rb {
+		if ra != rb { //lint:allow floateq sort comparator needs an exact total order
 			return ra > rb
 		}
 		return sorted[a].Project < sorted[b].Project
