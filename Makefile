@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-train bench-obs vet lint autoviewlint
+.PHONY: build test test-race bench bench-train bench-obs bench-serve vet lint autoviewlint
 
 build:
 	$(GO) build ./...
@@ -10,8 +10,9 @@ test:
 
 # Race-detector pass over the whole tree. Short mode keeps it
 # CI-friendly; the concurrent hot spots (the nn.Trainer worker pool,
-# core's parallel benefit measurement, rl's replay-batch Q-updates, and
-# the obs HTTP endpoint) all exercise their goroutines under -short.
+# core's parallel benefit measurement, rl's replay-batch Q-updates, the
+# obs HTTP endpoint, and the serve micro-batcher + view-set rotation)
+# all exercise their goroutines under -short.
 test-race:
 	$(GO) test -race -short ./...
 
@@ -25,6 +26,11 @@ bench-train:
 # Disabled-path observability overhead guard (< 5 ns/op; OBSERVABILITY.md).
 bench-obs:
 	$(GO) test -bench=ObsOverhead -run=^$$ ./internal/obs/
+
+# Online-serving throughput: req/s through the micro-batching inference
+# scheduler at Parallelism 1/4/8 (SERVING.md).
+bench-serve:
+	$(GO) test -bench=BenchmarkServeEstimate -run=^$$ .
 
 vet:
 	$(GO) vet ./...

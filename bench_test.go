@@ -7,11 +7,20 @@
 package autoview_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
+	"autoview/internal/core"
 	"autoview/internal/experiments"
 	"autoview/internal/nn"
+	"autoview/internal/serve"
+	"autoview/internal/workload"
 )
 
 // BenchmarkNNTrainStep measures one mini-batch forward+backward+reduce
@@ -62,6 +71,90 @@ func BenchmarkNNTrainStep(b *testing.B) {
 				b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
 			})
 		}
+	}
+}
+
+// BenchmarkServeEstimate measures request throughput through the online
+// advisor's micro-batching inference scheduler: concurrent POST
+// /v1/estimate requests (4 pairs each) coalesce into micro-batches that
+// run through a Parallelism-sized worker pool. The serial setting is the
+// no-pool baseline; 4 and 8 show how the same coalesced batches scale
+// across inference workers.
+func BenchmarkServeEstimate(b *testing.B) {
+	w := workload.WK(workload.WKParams{
+		Name:            "bench",
+		Projects:        4,
+		FactsPerProject: 2,
+		DimsPerProject:  1,
+		Queries:         60,
+		FragsPerProject: 3,
+		Skew:            1.2,
+		RowSkew:         1.5,
+		Seed:            77,
+	})
+	cfg := core.DefaultConfig()
+	cfg.Estimator = core.EstimatorWideDeep
+	cfg.Selector = core.SelectorTopkBen
+	cfg.WDTrain.Epochs = 2
+	cfg.Seed = 7
+
+	for _, par := range []int{1, 4, 8} {
+		b.Run("parallelism"+itoa(par), func(b *testing.B) {
+			srv, err := serve.New(w, cfg, serve.Config{
+				Parallelism: par,
+				MaxBatch:    64,
+				BatchWindow: 200 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := srv.Close(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			handler := srv.Handler()
+
+			// Pair every benchmark query with a bootstrap view's subquery.
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/views", nil))
+			var vs struct {
+				Views []struct {
+					SQL string `json:"sql"`
+				} `json:"views"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &vs); err != nil || len(vs.Views) == 0 {
+				b.Fatalf("bootstrap views: %v (%d views)", err, len(vs.Views))
+			}
+			type pair struct {
+				Query string `json:"query"`
+				View  string `json:"view"`
+			}
+			pairs := make([]pair, 4)
+			for i := range pairs {
+				pairs[i] = pair{Query: w.Queries[i].SQL, View: vs.Views[i%len(vs.Views)].SQL}
+			}
+			body, err := json.Marshal(map[string][]pair{"pairs": pairs})
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(body))
+					rec := httptest.NewRecorder()
+					handler.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("estimate status %d: %s", rec.Code, rec.Body.String())
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(4*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
 	}
 }
 

@@ -44,10 +44,10 @@ func main() {
 	logLevel := flag.String("log-level", "", "stream structured events to stderr at this level: debug, info, warn, error")
 	flag.Parse()
 
-	if bound, err := obs.Setup(*stats, *obsAddr, *logLevel, os.Stderr); err != nil {
+	if h, err := obs.Setup(*stats, *obsAddr, *logLevel, os.Stderr); err != nil {
 		fail(err)
-	} else if bound != "" {
-		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s\n", bound)
+	} else if h.Addr() != "" {
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s\n", h.Addr())
 	}
 
 	w, err := pickWorkload(*wl)

@@ -131,12 +131,12 @@ func main() {
 // serves the HTTP endpoint, and -log-level attaches the event logger to
 // stderr.
 func setupObs(stats bool, addr, level string) error {
-	bound, err := obs.Setup(stats, addr, level, os.Stderr)
+	h, err := obs.Setup(stats, addr, level, os.Stderr)
 	if err != nil {
 		return err
 	}
-	if bound != "" {
-		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", bound)
+	if h.Addr() != "" {
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", h.Addr())
 	}
 	return nil
 }

@@ -1,0 +1,235 @@
+// Command viewserverd is the online view-advisor daemon: it loads a
+// workload, bootstraps the pipeline (training the W-D cost model and
+// selecting an initial view set), and serves the internal/serve HTTP API
+// until SIGINT/SIGTERM, at which point it drains in-flight micro-batches
+// and exits cleanly.
+//
+// Usage:
+//
+//	viewserverd [-addr host:port] [-workload job|wk1|wk2]
+//	            [-schema schema.json -queries queries.sql]
+//	            [-estimator actual|optimizer|wd]
+//	            [-selector rlview|bigsub|iterview|topkfreq|topkover|topkben|topknorm]
+//	            [-seed N] [-parallelism N] [-window N]
+//	            [-advise-interval DUR] [-utility-tolerance F]
+//	            [-log-level debug|info|warn|error]
+//
+// The /metrics, /debug/vars and /debug/pprof endpoints are mounted on
+// the same listener as the /v1 API, so one address exposes both the
+// service and its observability surface (see SERVING.md and
+// OBSERVABILITY.md).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"autoview/internal/core"
+	"autoview/internal/obs"
+	"autoview/internal/serve"
+	"autoview/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8094", "address to serve the /v1 API and /metrics on")
+	wl := flag.String("workload", "wk1", "built-in workload: job, wk1, wk2")
+	schemaPath := flag.String("schema", "", "JSON schema file for a custom workload (with -queries)")
+	queriesPath := flag.String("queries", "", "SQL file with the custom workload's queries")
+	est := flag.String("estimator", "wd", "benefit estimator: actual, optimizer, wd")
+	sel := flag.String("selector", "rlview", "view selector: rlview, bigsub, iterview, topkfreq, topkover, topkben, topknorm")
+	seed := flag.Int64("seed", 1, "random seed")
+	parallelism := flag.Int("parallelism", 0, "micro-batcher inference workers (0 = NumCPU, 1 = serial)")
+	windowSize := flag.Int("window", 512, "rolling workload window capacity (queries)")
+	adviseEvery := flag.Duration("advise-interval", 0, "background re-advise period (0 disables the loop)")
+	utilityTol := flag.Float64("utility-tolerance", 0, "relative utility regression tolerated before a rotation rolls back")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
+	logLevel := flag.String("log-level", "info", "structured event level on stderr: debug, info, warn, error")
+	flag.Parse()
+
+	if err := run(options{
+		addr:         *addr,
+		workload:     *wl,
+		schemaPath:   *schemaPath,
+		queriesPath:  *queriesPath,
+		estimator:    *est,
+		selector:     *sel,
+		seed:         *seed,
+		parallelism:  *parallelism,
+		windowSize:   *windowSize,
+		adviseEvery:  *adviseEvery,
+		utilityTol:   *utilityTol,
+		drainTimeout: *drainTimeout,
+		logLevel:     *logLevel,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "viewserverd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr         string
+	workload     string
+	schemaPath   string
+	queriesPath  string
+	estimator    string
+	selector     string
+	seed         int64
+	parallelism  int
+	windowSize   int
+	adviseEvery  time.Duration
+	utilityTol   float64
+	drainTimeout time.Duration
+	logLevel     string
+}
+
+func run(o options) error {
+	// The serve package mounts the obs endpoint itself, so Setup only
+	// wires stats + the event logger here (no separate obs listener).
+	if _, err := obs.Setup(true, "", o.logLevel, os.Stderr); err != nil {
+		return err
+	}
+
+	w, coreCfg, err := loadWorkload(o)
+	if err != nil {
+		return err
+	}
+	coreCfg.Seed = o.seed
+	coreCfg.Parallelism = o.parallelism
+	if coreCfg.Estimator, err = parseEstimator(o.estimator); err != nil {
+		return err
+	}
+	if coreCfg.Selector, err = parseSelector(o.selector); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "viewserverd: bootstrapping on workload %s (%d queries, estimator %s, selector %v)\n",
+		w.Name, len(w.Queries), coreCfg.Estimator, coreCfg.Selector)
+	start := time.Now()
+	srv, err := serve.New(w, coreCfg, serve.Config{
+		Parallelism:      o.parallelism,
+		WindowSize:       o.windowSize,
+		AdviseInterval:   o.adviseEvery,
+		UtilityTolerance: o.utilityTol,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "viewserverd: bootstrap advise done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "viewserverd: serving /v1 API and /metrics on http://%s\n", o.addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "viewserverd: %v received, draining (timeout %v)\n", sig, o.drainTimeout)
+	case err := <-errCh:
+		return fmt.Errorf("listen on %s: %w", o.addr, err)
+	}
+
+	// Stop the listener first so in-flight handlers can still collect
+	// their micro-batch results, then drain the serve pipeline.
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "viewserverd: drained cleanly")
+	return nil
+}
+
+func loadWorkload(o options) (*workload.Workload, core.Config, error) {
+	if o.schemaPath != "" || o.queriesPath != "" {
+		if o.schemaPath == "" || o.queriesPath == "" {
+			return nil, core.Config{}, fmt.Errorf("custom workloads need both -schema and -queries")
+		}
+		sf, err := os.Open(o.schemaPath)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		defer sf.Close()
+		cat, err := workload.LoadCatalog(sf)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		qf, err := os.Open(o.queriesPath)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		defer qf.Close()
+		w, err := workload.LoadQueries(qf, cat, "custom")
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		cfg := core.WKConfig()
+		cfg.WDTrain.BatchSize = 16
+		return w, cfg, nil
+	}
+	switch strings.ToLower(o.workload) {
+	case "job":
+		return workload.JOB(), core.DefaultConfig(), nil
+	case "wk1":
+		return workload.WK1(), core.WKConfig(), nil
+	case "wk2":
+		return workload.WK2(), core.WKConfig(), nil
+	default:
+		return nil, core.Config{}, fmt.Errorf("unknown workload %q", o.workload)
+	}
+}
+
+func parseEstimator(name string) (core.EstimatorKind, error) {
+	switch strings.ToLower(name) {
+	case "actual":
+		return core.EstimatorActual, nil
+	case "optimizer":
+		return core.EstimatorOptimizer, nil
+	case "wd", "w-d", "widedeep":
+		return core.EstimatorWideDeep, nil
+	default:
+		return 0, fmt.Errorf("unknown estimator %q", name)
+	}
+}
+
+func parseSelector(name string) (core.SelectorKind, error) {
+	switch strings.ToLower(name) {
+	case "rlview":
+		return core.SelectorRLView, nil
+	case "bigsub":
+		return core.SelectorBigSub, nil
+	case "iterview":
+		return core.SelectorIterView, nil
+	case "topkfreq":
+		return core.SelectorTopkFreq, nil
+	case "topkover":
+		return core.SelectorTopkOver, nil
+	case "topkben":
+		return core.SelectorTopkBen, nil
+	case "topknorm":
+		return core.SelectorTopkNorm, nil
+	default:
+		return 0, fmt.Errorf("unknown selector %q", name)
+	}
+}

@@ -32,11 +32,11 @@ func main() {
 	logLevel := flag.String("log-level", "", "stream structured events to stderr at this level: debug, info, warn, error")
 	flag.Parse()
 
-	if bound, err := obs.Setup(*statsFlag, *obsAddr, *logLevel, os.Stderr); err != nil {
+	if h, err := obs.Setup(*statsFlag, *obsAddr, *logLevel, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "workloadgen:", err)
 		os.Exit(1)
-	} else if bound != "" {
-		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s\n", bound)
+	} else if h.Addr() != "" {
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s\n", h.Addr())
 	}
 
 	var w *workload.Workload

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"autoview/internal/catalog"
 	"autoview/internal/costbase"
@@ -14,6 +12,7 @@ import (
 	"autoview/internal/featenc"
 	"autoview/internal/metrics"
 	"autoview/internal/mvs"
+	"autoview/internal/nn"
 	"autoview/internal/obs"
 	"autoview/internal/plan"
 	"autoview/internal/rewrite"
@@ -248,50 +247,31 @@ func (a *Advisor) fillBenefits(p *Problem) error {
 }
 
 // measureAll measures A(q|v) for every pair by executing the rewritten
-// queries, fanned out over the available CPUs. The executor only reads the
-// store (views are already materialized) and each execution carries its
-// own meter, so concurrent measurement is safe; results are returned in
-// pair order so downstream consumers stay deterministic.
+// queries, fanned out over the available CPUs (nn.ParallelFor). The
+// executor only reads the store (views are already materialized) and each
+// execution carries its own meter, so concurrent measurement is safe;
+// results are returned in pair order so downstream consumers stay
+// deterministic.
 func (a *Advisor) measureAll(p *Problem, pairs []pairKey) ([]float64, error) {
 	obsPairsMeasured.Add(int64(len(pairs)))
 	costs := make([]float64, len(pairs))
 	errs := make([]error, len(pairs))
 	pricing := a.Cfg.Pricing
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pairs) {
-					return
-				}
-				pk := pairs[i]
-				rw, n := rewrite.Rewrite(p.Queries[pk.qi], []*rewrite.View{p.Candidates[pk.j].View})
-				if n == 0 {
-					costs[i] = p.QueryCost[pk.qi]
-					continue
-				}
-				u, err := a.Exec.Cost(rw)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				costs[i] = u.Cost(pricing)
-			}
-		}()
-	}
-	wg.Wait()
+	nn.ParallelFor(len(pairs), runtime.GOMAXPROCS(0), func(i int) {
+		pk := pairs[i]
+		rw, n := rewrite.Rewrite(p.Queries[pk.qi], []*rewrite.View{p.Candidates[pk.j].View})
+		if n == 0 {
+			costs[i] = p.QueryCost[pk.qi]
+			return
+		}
+		u, err := a.Exec.Cost(rw)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		costs[i] = u.Cost(pricing)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: measuring rewritten pair: %w", err)

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"autoview/internal/obs"
+	"autoview/internal/plan"
+)
+
+// ErrNoCandidates reports that pre-processing found no shareable
+// subqueries in the given workload, so there is nothing to select.
+// Online callers (the serving layer's re-advise loop) treat it as a
+// clean no-op rather than a failure.
+var ErrNoCandidates = errors.New("core: no candidate views in workload")
+
+var obsWindowSize = obs.Default.Gauge("core.window.size", "queries currently held by the rolling workload window")
+
+// Window is a bounded rolling workload window: a fixed-capacity ring of
+// query plans where appending beyond capacity evicts the oldest entry.
+// It is the online system's view of "the current workload" — the
+// re-advise loop snapshots it and runs selection over the snapshot.
+// All methods are safe for concurrent use.
+type Window struct {
+	mu    sync.Mutex
+	buf   []*plan.Node
+	next  int  // ring write position
+	full  bool // buf has wrapped at least once
+	total uint64
+}
+
+// NewWindow returns an empty window holding at most capacity queries.
+// Capacity must be positive.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Window{buf: make([]*plan.Node, 0, capacity)}
+}
+
+// Cap returns the window's capacity.
+func (w *Window) Cap() int { return cap(w.buf) }
+
+// Append adds queries in order, evicting the oldest entries once the
+// window is full.
+func (w *Window) Append(queries ...*plan.Node) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, q := range queries {
+		if len(w.buf) < cap(w.buf) {
+			w.buf = append(w.buf, q)
+		} else {
+			w.buf[w.next] = q
+			w.next = (w.next + 1) % cap(w.buf)
+			w.full = true
+		}
+		w.total++
+	}
+	obsWindowSize.Set(float64(len(w.buf)))
+}
+
+// Len returns the number of queries currently held.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// Total returns the number of queries ever appended (including evicted
+// ones).
+func (w *Window) Total() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Snapshot returns the current contents oldest-first. The returned slice
+// is a copy; the plans themselves are shared (treated as immutable by
+// the pipeline).
+func (w *Window) Snapshot() []*plan.Node {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]*plan.Node, 0, len(w.buf))
+	if w.full {
+		out = append(out, w.buf[w.next:]...)
+		out = append(out, w.buf[:w.next]...)
+	} else {
+		out = append(out, w.buf...)
+	}
+	return out
+}
+
+// CostScale returns the factor that maps this problem's dollar costs
+// into the O(1) magnitudes the W-D model was trained on
+// (1/max A(q)). Serving-side callers divide Model predictions by it to
+// recover absolute costs, exactly as the pipeline's benefit estimator
+// does.
+func (p *Problem) CostScale() float64 { return costScale(p.QueryCost) }
+
+// Advise runs the estimate and select stages over an arbitrary query
+// set without applying the selection: pre-process, problem assembly
+// under the configured estimator, and view selection. It is the
+// re-advise entry point for online callers that maintain their own
+// rolling window; Run remains the batch pipeline (which also rewrites
+// and re-executes the workload). Returns ErrNoCandidates when
+// pre-processing yields no shareable subqueries.
+func (a *Advisor) Advise(queries []*plan.Node) (*Problem, *Selection, error) {
+	if len(queries) == 0 {
+		return nil, nil, ErrNoCandidates
+	}
+	pre := a.Preprocess(queries)
+	if len(pre.Candidates) == 0 {
+		return nil, nil, ErrNoCandidates
+	}
+	p, err := a.BuildProblem(queries, pre)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, err := a.Select(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, sel, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"autoview/internal/plan"
+)
+
+// tagged builds a distinguishable dummy plan (only pointer identity and
+// order matter to the window).
+func tagged(i int) *plan.Node {
+	return &plan.Node{Op: plan.OpScan, Table: fmt.Sprintf("t%d", i)}
+}
+
+func TestWindowAppendSnapshotOrder(t *testing.T) {
+	w := NewWindow(4)
+	if w.Cap() != 4 {
+		t.Fatalf("cap = %d", w.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		w.Append(tagged(i))
+	}
+	snap := w.Snapshot()
+	if len(snap) != 3 || w.Len() != 3 {
+		t.Fatalf("len = %d snapshot = %d", w.Len(), len(snap))
+	}
+	for i, n := range snap {
+		if n.Table != fmt.Sprintf("t%d", i) {
+			t.Fatalf("snapshot[%d] = %s", i, n.Table)
+		}
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(3)
+	for i := 0; i < 7; i++ {
+		w.Append(tagged(i))
+	}
+	snap := w.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	for i, want := range []string{"t4", "t5", "t6"} {
+		if snap[i].Table != want {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, snap[i].Table, want)
+		}
+	}
+	if w.Total() != 7 {
+		t.Fatalf("total = %d", w.Total())
+	}
+}
+
+func TestWindowConcurrentAppend(t *testing.T) {
+	w := NewWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				w.Append(tagged(g*100 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Total() != 400 {
+		t.Fatalf("total = %d", w.Total())
+	}
+	if w.Len() != 64 {
+		t.Fatalf("len = %d", w.Len())
+	}
+}
+
+func TestAdviseReturnsSelection(t *testing.T) {
+	wl := smallWK()
+	a := newAdvisor(t, wl, fastConfig())
+	p, sel, err := a.Advise(wl.Plans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || sel == nil {
+		t.Fatal("nil problem or selection")
+	}
+	if len(sel.Z) != len(p.Candidates) {
+		t.Fatalf("selection over %d views, %d candidates", len(sel.Z), len(p.Candidates))
+	}
+	if scale := p.CostScale(); scale <= 0 {
+		t.Fatalf("cost scale %v", scale)
+	}
+}
+
+func TestAdviseNoCandidates(t *testing.T) {
+	wl := smallWK()
+	a := newAdvisor(t, wl, fastConfig())
+	// A single query cannot share subqueries with anything.
+	if _, _, err := a.Advise(wl.Plans()[:1]); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+	if _, _, err := a.Advise(nil); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("empty: err = %v, want ErrNoCandidates", err)
+	}
+}

@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(i) for every i in [0, n) across workers
+// goroutines. workers <= 0 selects runtime.NumCPU(); the pool is capped
+// at n. Indices are claimed from an atomic counter, so every index runs
+// exactly once; fn must confine its writes to index-i-owned state (the
+// i-th slot of an output slice), which makes the overall result
+// independent of scheduling — the parallel run is bit-identical to the
+// serial one. This is the fan-out primitive behind the advisor's pair
+// measurement and the W-D batched predict path.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

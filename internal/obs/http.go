@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"errors"
 	"expvar"
 	"fmt"
@@ -63,46 +64,82 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
+// Handle is a running observability HTTP server. The zero of the type is
+// a nil *Handle, which every method tolerates, so callers that serve
+// conditionally (an empty -obs-addr) can hold one handle unconditionally.
+type Handle struct {
+	addr string
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Addr returns the bound address ("" on a nil handle).
+func (h *Handle) Addr() string {
+	if h == nil {
+		return ""
+	}
+	return h.addr
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections
+// and waits for in-flight requests (scrapes, profile downloads) to
+// finish or ctx to expire, whichever comes first. Safe on a nil handle
+// and idempotent.
+func (h *Handle) Shutdown(ctx context.Context) error {
+	if h == nil {
+		return nil
+	}
+	err := h.srv.Shutdown(ctx)
+	<-h.done // Serve goroutine has returned; its error (if any) is logged
+	return err
+}
+
 // Serve binds addr (e.g. "localhost:6060" or ":0"), serves the registry's
-// Handler on it from a background goroutine, and returns the bound
-// address. The listener lives for the life of the process — binaries wire
-// this to their -obs-addr flag.
-func Serve(addr string, r *Registry) (string, error) {
+// Handler on it from a background goroutine, and returns a Handle exposing
+// the bound address and graceful Shutdown. Binaries wire this to their
+// -obs-addr flag; short-lived ones may simply never call Shutdown.
+func Serve(addr string, r *Registry) (*Handle, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	h := &Handle{
+		addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: r.Handler()},
+		done: make(chan struct{}),
+	}
 	go func() {
-		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			Error("obs.serve", "addr", ln.Addr().String(), "err", err.Error())
+		defer close(h.done)
+		if err := h.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			Error("obs.serve", "addr", h.addr, "err", err.Error())
 		}
 	}()
-	return ln.Addr().String(), nil
+	return h, nil
 }
 
 // Setup wires the standard observability command-line surface shared by
 // the cmd/ binaries (-stats, -obs-addr, -log-level): it enables the
 // default registry when stats or addr is set, serves the HTTP endpoint on
 // addr, and attaches the event logger to w at the named level. It returns
-// the bound HTTP address ("" when addr is empty).
-func Setup(stats bool, addr, level string, w io.Writer) (string, error) {
+// the serving handle (nil when addr is empty; Handle methods are
+// nil-safe, so callers may use it unconditionally).
+func Setup(stats bool, addr, level string, w io.Writer) (*Handle, error) {
 	if stats || addr != "" {
 		Enable()
 	}
-	bound := ""
+	var h *Handle
 	if addr != "" {
 		var err error
-		if bound, err = Serve(addr, Default); err != nil {
-			return "", err
+		if h, err = Serve(addr, Default); err != nil {
+			return nil, err
 		}
 	}
 	if level != "" {
 		lv, err := ParseLevel(level)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		LogTo(w, lv)
 	}
-	return bound, nil
+	return h, nil
 }

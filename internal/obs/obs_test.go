@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -271,4 +272,42 @@ func BenchmarkObsOverhead(b *testing.B) {
 			r.Time("bench.span", fn)
 		}
 	})
+}
+
+func TestServeHandleShutdown(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("shutdown.test.count", "a counter").Inc()
+	h, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	if body := httpGet(t, "http://"+h.Addr()+"/metrics"); !strings.Contains(body, "autoview_shutdown_test_count_total 1") {
+		t.Errorf("metrics before shutdown missing counter:\n%s", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := h.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Idempotent, and the listener is really closed.
+	if err := h.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + h.Addr() + "/metrics"); err == nil {
+		t.Error("endpoint still reachable after shutdown")
+	}
+}
+
+func TestNilHandleIsSafe(t *testing.T) {
+	var h *Handle
+	if h.Addr() != "" {
+		t.Error("nil handle has an address")
+	}
+	if err := h.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil shutdown: %v", err)
+	}
 }

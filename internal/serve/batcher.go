@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoview/internal/featenc"
+	"autoview/internal/obs"
+	"autoview/internal/widedeep"
+)
+
+// Micro-batcher metrics: queue pressure in a gauge, work in counters,
+// coalescing behaviour in a histogram.
+var (
+	obsBatches    = obs.Default.Counter("serve.batch.count", "micro-batches run by the inference scheduler")
+	obsBatchSize  = obs.Default.Histogram("serve.batch.size", "(query, view) pairs coalesced per micro-batch", 1, 2, 4, 8, 16, 32, 64, 128)
+	obsQueueDepth = obs.Default.Gauge("serve.batch.queue", "estimate requests waiting in the micro-batcher queue")
+)
+
+// Sentinel errors mapped to HTTP statuses by the handlers.
+var (
+	errQueueFull    = errors.New("serve: bounded queue full")
+	errShuttingDown = errors.New("serve: shutting down")
+	errNoModel      = errors.New("serve: no W-D model is loaded")
+)
+
+// estRequest is one estimate request's slice of the micro-batch: the
+// extracted features, a result slot per pair, and a completion channel.
+// The batcher owns out/err until done is closed; after that the
+// submitting handler owns them (or nobody does, if the handler timed
+// out — the slots are then written but never read).
+type estRequest struct {
+	fs   []featenc.Features
+	out  []float64
+	err  error
+	done chan struct{}
+}
+
+// batcher is the micro-batching inference scheduler: concurrent
+// estimate requests queue onto a bounded channel, a single dispatcher
+// coalesces them — up to cfg.MaxBatch pairs, waiting at most
+// cfg.BatchWindow after the first request — and each micro-batch runs
+// through widedeep.PredictBatch's Parallelism-sized worker pool.
+// Per-pair results are bit-identical to sequential inference (see
+// PredictBatch), so batching is purely a throughput optimization.
+type batcher struct {
+	parallelism int
+	maxBatch    int
+	window      time.Duration
+
+	// model returns the current weights and cost scale (swapped
+	// atomically by the server on re-advise or hot-reload).
+	model func() (*widedeep.Model, float64)
+
+	queue   chan *estRequest
+	submits sync.WaitGroup
+	closed  atomic.Bool
+	done    chan struct{}
+}
+
+func newBatcher(cfg Config, model func() (*widedeep.Model, float64)) *batcher {
+	b := &batcher{
+		parallelism: cfg.Parallelism,
+		maxBatch:    cfg.MaxBatch,
+		window:      cfg.BatchWindow,
+		model:       model,
+		queue:       make(chan *estRequest, cfg.QueueDepth),
+		done:        make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// submit enqueues a request without blocking: a full queue sheds
+// (errQueueFull → 429) instead of stalling the caller. The submits
+// group guarantees no send can race close(queue) during shutdown.
+func (b *batcher) submit(req *estRequest) error {
+	b.submits.Add(1)
+	defer b.submits.Done()
+	if b.closed.Load() {
+		return errShuttingDown
+	}
+	select {
+	case b.queue <- req:
+		obsQueueDepth.Set(float64(len(b.queue)))
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// dispatch is the scheduler loop: block for the first request, coalesce
+// follow-ups until the batch is full or the window expires, run, repeat.
+// When the queue is closed it drains every remaining request before
+// exiting, so accepted work always completes.
+func (b *batcher) dispatch() {
+	defer close(b.done)
+	for {
+		req, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := []*estRequest{req}
+		total := len(req.fs)
+		timer := time.NewTimer(b.window)
+	collect:
+		for total < b.maxBatch {
+			select {
+			case next, more := <-b.queue:
+				if !more {
+					break collect
+				}
+				batch = append(batch, next)
+				total += len(next.fs)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		obsQueueDepth.Set(float64(len(b.queue)))
+		b.run(batch, total)
+	}
+}
+
+// run executes one micro-batch and completes its requests.
+func (b *batcher) run(batch []*estRequest, total int) {
+	defer obs.StartSpan("serve.batch")()
+	obsBatches.Inc()
+	obsBatchSize.Observe(float64(total))
+	m, scale := b.model()
+	if m == nil {
+		for _, r := range batch {
+			r.err = errNoModel
+			close(r.done)
+		}
+		return
+	}
+	flat := make([]featenc.Features, 0, total)
+	for _, r := range batch {
+		flat = append(flat, r.fs...)
+	}
+	preds := m.PredictBatch(flat, b.parallelism)
+	k := 0
+	for _, r := range batch {
+		for i := range r.fs {
+			// The same scale division the pipeline's benefit
+			// estimator applies to Predict, so batched results stay
+			// bit-identical to sequential serving.
+			r.out[i] = preds[k] / scale
+			k++
+		}
+		close(r.done)
+	}
+	obs.Debug("serve.batch", "requests", len(batch), "pairs", total)
+}
+
+// close stops intake, waits for queued work to drain (bounded by ctx),
+// and returns. Idempotent.
+func (b *batcher) close(ctx context.Context) error {
+	if !b.closed.Swap(true) {
+		b.submits.Wait()
+		close(b.queue)
+	}
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

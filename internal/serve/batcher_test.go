@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"autoview/internal/featenc"
+	"autoview/internal/widedeep"
+)
+
+func onePairRequest() *estRequest {
+	return &estRequest{
+		fs:   make([]featenc.Features, 1),
+		out:  make([]float64, 1),
+		done: make(chan struct{}),
+	}
+}
+
+// gatedBatcher builds a batcher whose dispatcher blocks inside run until
+// the returned gate is closed — the deterministic way to hold work in
+// the queue while the test probes shedding and draining.
+func gatedBatcher(queueDepth int) (*batcher, chan struct{}) {
+	gate := make(chan struct{})
+	b := newBatcher(
+		Config{MaxBatch: 1, BatchWindow: time.Millisecond, QueueDepth: queueDepth},
+		func() (*widedeep.Model, float64) {
+			<-gate
+			return nil, 1
+		})
+	return b, gate
+}
+
+// waitQueueEmpty blocks until the dispatcher has pulled everything off
+// the queue (and is therefore parked inside run, on the gate).
+func waitQueueEmpty(t *testing.T, b *batcher) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(b.queue) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher never drained the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatcherShedsWhenFull drives the bounded queue to capacity and
+// checks the overflow submit is rejected, not blocked — and that every
+// accepted request still completes.
+func TestBatcherShedsWhenFull(t *testing.T) {
+	b, gate := gatedBatcher(1)
+	r1, r2, r3 := onePairRequest(), onePairRequest(), onePairRequest()
+
+	if err := b.submit(r1); err != nil {
+		t.Fatalf("submit r1: %v", err)
+	}
+	waitQueueEmpty(t, b) // r1 is now held inside run; the queue is free
+	if err := b.submit(r2); err != nil {
+		t.Fatalf("submit r2: %v", err)
+	}
+	if err := b.submit(r3); !errors.Is(err, errQueueFull) {
+		t.Fatalf("submit r3 = %v, want errQueueFull", err)
+	}
+
+	close(gate)
+	for _, r := range []*estRequest{r1, r2} {
+		select {
+		case <-r.done:
+			if !errors.Is(r.err, errNoModel) {
+				t.Fatalf("request err = %v, want errNoModel (gated model func returns nil)", r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("accepted request never completed")
+		}
+	}
+	if err := b.close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestBatcherDrainsOnClose closes the batcher while work is queued and
+// in flight: close must reject new submits immediately but wait for
+// every accepted request to complete before returning.
+func TestBatcherDrainsOnClose(t *testing.T) {
+	b, gate := gatedBatcher(4)
+	r1, r2 := onePairRequest(), onePairRequest()
+	if err := b.submit(r1); err != nil {
+		t.Fatalf("submit r1: %v", err)
+	}
+	if err := b.submit(r2); err != nil {
+		t.Fatalf("submit r2: %v", err)
+	}
+
+	closed := make(chan error, 1)
+	go func() {
+		closed <- b.close(context.Background())
+	}()
+
+	// close is now blocked on the gated dispatcher; new work must be
+	// turned away while the old work is still guaranteed to finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := b.submit(onePairRequest()); errors.Is(err, errShuttingDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submit never started returning errShuttingDown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-closed:
+		t.Fatal("close returned before the queued work drained")
+	default:
+	}
+
+	close(gate)
+	if err := <-closed; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, r := range []*estRequest{r1, r2} {
+		select {
+		case <-r.done:
+		default:
+			t.Fatal("close returned with an accepted request incomplete")
+		}
+	}
+}
+
+// TestBatcherCloseHonorsContext: a close whose drain cannot finish must
+// give up when its context expires (and still succeed later).
+func TestBatcherCloseHonorsContext(t *testing.T) {
+	b, gate := gatedBatcher(4)
+	if err := b.submit(onePairRequest()); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitQueueEmpty(t, b)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := b.close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("close = %v, want DeadlineExceeded while gated", err)
+	}
+	close(gate)
+	if err := b.close(context.Background()); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// gateServerModel wraps the server's model getter so the next micro-batch
+// signals entered and then blocks until the returned gate closes.
+// Installing the wrapper before any estimate traffic is sent gives the
+// dispatcher's read a happens-before edge through the queue channel.
+func gateServerModel(s *Server) (gate, entered chan struct{}) {
+	gate = make(chan struct{})
+	entered = make(chan struct{}, 1)
+	orig := s.batcher.model
+	s.batcher.model = func() (*widedeep.Model, float64) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-gate
+		return orig()
+	}
+	return gate, entered
+}
+
+// TestServeEstimateTimeout holds a micro-batch past the request timeout
+// and expects a structured 504.
+func TestServeEstimateTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Parallelism: 1, RequestTimeout: 50 * time.Millisecond})
+	gate, _ := gateServerModel(s)
+	defer close(gate)
+
+	w := serveWK()
+	resp, body := postJSON(t, ts.URL+"/v1/estimate",
+		estimateRequest{Pairs: []estimatePair{{Query: w.Queries[0].SQL, View: w.Queries[1].SQL}}})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var envelope errorResponse
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != "timeout" {
+		t.Fatalf("timeout envelope %s (err %v)", body, err)
+	}
+}
+
+// TestServeGracefulDrain closes the server while an estimate is held in
+// flight: the in-flight request must still get its 200 with results,
+// while new traffic is refused with a structured 503.
+func TestServeGracefulDrain(t *testing.T) {
+	w := serveWK()
+	s, err := New(w, serveCoreCfg(), Config{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	gate, entered := gateServerModel(s)
+
+	inflight := make(chan error, 1)
+	go func() {
+		raw, _ := json.Marshal(estimateRequest{Pairs: []estimatePair{{Query: w.Queries[0].SQL, View: w.Queries[1].SQL}}})
+		resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			inflight <- err
+			return
+		}
+		defer resp.Body.Close()
+		var out estimateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			inflight <- err
+			return
+		}
+		if resp.StatusCode != http.StatusOK || len(out.Estimates) != 1 {
+			inflight <- errors.New("in-flight estimate did not complete with results during drain")
+			return
+		}
+		inflight <- nil
+	}()
+	select {
+	case <-entered: // the estimate's micro-batch is parked on the gate
+	case <-time.After(10 * time.Second):
+		t.Fatal("estimate never reached the dispatcher")
+	}
+
+	closed := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		closed <- s.Close(ctx)
+	}()
+
+	// New traffic is shed with 503 while the drain is in progress.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := postJSON(t, ts.URL+"/v1/queries", ingestRequest{Queries: []string{w.Queries[0].SQL}})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			var envelope errorResponse
+			if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != "shutting_down" {
+				t.Fatalf("drain envelope %s (err %v)", body, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started refusing traffic during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(gate)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight estimate: %v", err)
+	}
+}

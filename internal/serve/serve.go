@@ -1,0 +1,311 @@
+// Package serve is the online view-advisor service: a long-running HTTP
+// front end over the batch pipeline in internal/core. Where
+// core.Advisor.Run processes one workload and exits, a serve.Server
+// ingests a query stream into a bounded rolling window, answers W-D
+// cost-estimate requests through a micro-batching inference scheduler,
+// and periodically re-runs view selection over the window, rotating in a
+// versioned, fingerprint-sorted view set (with rollback when the new
+// set's estimated utility regresses).
+//
+// Endpoints (all JSON; see SERVING.md for the full reference):
+//
+//	POST /v1/estimate     batched A(q|v) estimates for (query, view) pairs
+//	POST /v1/queries      ingest queries into the rolling window
+//	POST /v1/advise       trigger a re-advise cycle
+//	GET  /v1/views        the current versioned view set (+DDL)
+//	GET  /v1/healthz      liveness and serving state
+//	POST /v1/admin/model  hot-reload W-D weights from a checkpoint
+//	GET  /metrics ...     the internal/obs endpoint, mounted at the root
+//
+// Robustness is part of the contract: requests are bounded (body size,
+// pairs per request, per-request timeout), queues are bounded with
+// load-shedding (HTTP 429), errors are structured JSON, and Close drains
+// in-flight batches before returning.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoview/internal/core"
+	"autoview/internal/engine"
+	"autoview/internal/featenc"
+	"autoview/internal/obs"
+	"autoview/internal/plan"
+	"autoview/internal/widedeep"
+	"autoview/internal/workload"
+)
+
+// Serving metrics (see OBSERVABILITY.md): request traffic accumulates in
+// counters, the current serving state lands in gauges.
+var (
+	obsRequests   = obs.Default.Counter("serve.http.requests", "HTTP requests received by the view-advisor service")
+	obsErrors     = obs.Default.Counter("serve.http.errors", "HTTP error responses (4xx/5xx) sent by the service")
+	obsShed       = obs.Default.Counter("serve.shed", "requests shed with 429 because a bounded queue was full")
+	obsTimeouts   = obs.Default.Counter("serve.timeouts", "estimate requests that hit their per-request timeout")
+	obsPairs      = obs.Default.Counter("serve.estimate.pairs", "(query, view) pairs estimated")
+	obsIngested   = obs.Default.Counter("serve.ingest.queries", "queries accepted into the ingest queue")
+	obsCycles     = obs.Default.Counter("serve.advise.cycles", "re-advise cycles completed")
+	obsSwaps      = obs.Default.Counter("serve.advise.swaps", "view-set rotations that swapped in a new version")
+	obsRollbacks  = obs.Default.Counter("serve.advise.rollbacks", "view-set rotations rolled back on utility regression")
+	obsReloads    = obs.Default.Counter("serve.model.reloads", "W-D model hot-reloads via the admin endpoint")
+	obsViewsVer   = obs.Default.Gauge("serve.views.version", "version of the active view set")
+	obsViewsCount = obs.Default.Gauge("serve.views.count", "views in the active view set")
+	obsUtility    = obs.Default.Gauge("serve.advise.utility", "estimated utility of the active view set ($)")
+	obsModelVer   = obs.Default.Gauge("serve.model.version", "version of the active W-D model")
+)
+
+// Config tunes the service. The zero value selects sensible defaults via
+// withDefaults; Parallelism follows the pipeline-wide convention (0 means
+// runtime.NumCPU(), 1 runs serially).
+type Config struct {
+	// Parallelism sizes the micro-batcher's inference worker pool.
+	Parallelism int
+	// MaxBatch caps the (query, view) pairs coalesced into one
+	// micro-batch. Default 32.
+	MaxBatch int
+	// BatchWindow is how long the dispatcher waits for more requests
+	// after the first one before running a partial batch. Default 2ms.
+	BatchWindow time.Duration
+	// QueueDepth bounds the estimate request queue; a full queue sheds
+	// with 429. Default 256.
+	QueueDepth int
+	// IngestQueue bounds the query ingest queue; a full queue sheds with
+	// 429. Default 1024.
+	IngestQueue int
+	// WindowSize is the rolling workload window capacity. Default 512.
+	WindowSize int
+	// MaxPairs caps pairs per estimate request (400 above). Default 64.
+	MaxPairs int
+	// MaxQueries caps queries per ingest request (400 above). Default 256.
+	MaxQueries int
+	// RequestTimeout bounds one estimate request's wait for its batch
+	// results (504 past it). Default 10s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (413 above). Default 1 MiB.
+	MaxBodyBytes int64
+	// AdviseInterval is the background re-advise period; 0 disables the
+	// loop (selection then runs only via POST /v1/advise).
+	AdviseInterval time.Duration
+	// UtilityTolerance is the relative regression tolerated before a
+	// rotation rolls back: a candidate set is rejected when its utility
+	// is below (1-UtilityTolerance) times the active set's. Default 0
+	// (any regression rolls back).
+	UtilityTolerance float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 1024
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 512
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 64
+	}
+	if c.MaxQueries <= 0 {
+		c.MaxQueries = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.UtilityTolerance < 0 {
+		c.UtilityTolerance = 0
+	}
+	return c
+}
+
+// model pairs W-D weights with the cost scale that maps its predictions
+// back to dollars, swapped atomically as one unit.
+type model struct {
+	m       *widedeep.Model
+	scale   float64 // predictions are divided by this (1 when unscaled)
+	version int
+}
+
+// ingestMsg carries parsed plans to the window goroutine; done (when
+// non-nil) is closed after the append, which gives /v1/advise its
+// ingest-before-snapshot barrier.
+type ingestMsg struct {
+	plans []*plan.Node
+	done  chan struct{}
+}
+
+// Server is the online view advisor. Build one with New, mount Handler
+// on an http.Server, and Close it to drain.
+type Server struct {
+	cfg Config
+
+	adv    *core.Advisor
+	window *core.Window
+
+	model   atomic.Pointer[model]
+	views   atomic.Pointer[ViewSet]
+	started time.Time
+
+	batcher *batcher
+	ingest  chan ingestMsg
+
+	// adviseMu serializes re-advise cycles (the advisor mutates its
+	// store and metadata DB); TryLock turns concurrent triggers into 409.
+	adviseMu sync.Mutex
+
+	mux *http.ServeMux
+
+	closing    atomic.Bool
+	ingestOpen sync.WaitGroup // in-flight ingest handler sends
+	bg         sync.WaitGroup // ingester + advise loop
+	stopBg     chan struct{}
+}
+
+// New builds a server over the workload's catalog and data, seeds the
+// rolling window with the workload's queries, and runs the bootstrap
+// advise cycle synchronously so the service starts with a trained W-D
+// model (when coreCfg.Estimator is EstimatorWideDeep) and view set
+// version 1. The background loops start immediately; call Close to stop
+// them and drain.
+func New(w *workload.Workload, coreCfg core.Config, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		adv:     core.NewAdvisor(w.Cat, engine.New(w.Populate()), coreCfg),
+		window:  core.NewWindow(cfg.WindowSize),
+		ingest:  make(chan ingestMsg, cfg.IngestQueue),
+		stopBg:  make(chan struct{}),
+		started: time.Now(),
+	}
+	s.window.Append(w.Plans()...)
+	s.batcher = newBatcher(cfg, func() (*widedeep.Model, float64) {
+		m := s.model.Load()
+		if m == nil {
+			return nil, 1
+		}
+		return m.m, m.scale
+	})
+	s.mux = s.routes()
+
+	if _, err := s.advise(context.Background(), "bootstrap", false); err != nil {
+		return nil, fmt.Errorf("serve: bootstrap advise: %w", err)
+	}
+
+	s.bg.Add(1)
+	go s.ingester()
+	if cfg.AdviseInterval > 0 {
+		s.bg.Add(1)
+		go s.adviseLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (the /v1 API plus the
+// internal/obs endpoint mounted at the root).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Vocab returns the encoder vocabulary the active model was built with
+// (checkpoints only load into a same-shape model; see Reload).
+func (s *Server) Vocab() *featenc.Vocab {
+	m := s.model.Load()
+	if m == nil || m.m == nil {
+		return nil
+	}
+	return m.m.Enc.Vocab
+}
+
+// ingester is the single consumer of the bounded ingest queue: it
+// appends parsed plans to the rolling window in arrival order.
+func (s *Server) ingester() {
+	defer s.bg.Done()
+	for msg := range s.ingest {
+		s.window.Append(msg.plans...)
+		if msg.done != nil {
+			close(msg.done)
+		}
+	}
+}
+
+// sendIngest places msg on the bounded ingest queue. Non-blocking sends
+// (the ingest handler) shed with errQueueFull when the queue is full;
+// blocking sends (the advise barrier) wait for room or shutdown. The
+// ingestOpen group lets Close wait until no sender is mid-flight before
+// closing the channel.
+func (s *Server) sendIngest(msg ingestMsg, block bool) error {
+	s.ingestOpen.Add(1)
+	defer s.ingestOpen.Done()
+	if s.closing.Load() {
+		return errShuttingDown
+	}
+	if block {
+		select {
+		case s.ingest <- msg:
+			return nil
+		case <-s.stopBg:
+			return errShuttingDown
+		}
+	}
+	select {
+	case s.ingest <- msg:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// adviseLoop periodically re-runs selection over the rolling window.
+func (s *Server) adviseLoop() {
+	defer s.bg.Done()
+	ticker := time.NewTicker(s.cfg.AdviseInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopBg:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.AdviseInterval)
+			res, err := s.advise(ctx, "periodic", false)
+			cancel()
+			if err != nil {
+				obs.Warn("serve.advise.loop", "err", err)
+				continue
+			}
+			obs.Info("serve.advise.loop", "version", res.Version, "swapped", res.Swapped,
+				"rolled_back", res.RolledBack, "views", res.Views, "window", res.Window)
+		}
+	}
+}
+
+// Close gracefully stops the server: new work is rejected with 503,
+// the ingest queue is drained into the window, the batcher finishes
+// every queued estimate, and the background loops exit. The caller is
+// responsible for shutting down its http.Server first (or concurrently)
+// so in-flight handlers can still collect their batch results. Close is
+// bounded by ctx only for the batcher drain; queue consumers always
+// finish their queued work.
+func (s *Server) Close(ctx context.Context) error {
+	if s.closing.Swap(true) {
+		return nil // already closing
+	}
+	close(s.stopBg)
+	s.ingestOpen.Wait() // no handler is mid-send on the ingest queue
+	close(s.ingest)
+	err := s.batcher.close(ctx)
+	s.bg.Wait()
+	obs.Info("serve.close", "drained", err == nil)
+	return err
+}

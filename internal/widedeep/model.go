@@ -31,9 +31,10 @@ import (
 // wd.infer span when obs is enabled); Fit reports per-epoch training loss
 // through the wd.train.loss gauge and times whole fits under wd.train.
 var (
-	obsInferCount  = obs.Default.Counter("wd.infer.count", "W-D cost-model inferences (Predict calls)")
-	obsTrainEpochs = obs.Default.Counter("wd.train.epochs", "W-D training epochs completed")
-	obsTrainLoss   = obs.Default.Gauge("wd.train.loss", "mean training loss of the last W-D epoch")
+	obsInferCount   = obs.Default.Counter("wd.infer.count", "W-D cost-model inferences (Predict calls or PredictBatch elements)")
+	obsInferBatches = obs.Default.Counter("wd.infer.batches", "W-D PredictBatch invocations")
+	obsTrainEpochs  = obs.Default.Counter("wd.train.epochs", "W-D training epochs completed")
+	obsTrainLoss    = obs.Default.Gauge("wd.train.loss", "mean training loss of the last W-D epoch")
 )
 
 // Config sizes the network.
@@ -230,6 +231,29 @@ func (m *Model) Predict(f featenc.Features) float64 {
 	}
 	y, _ := m.forward(f)
 	return y*m.yStd + m.yMean
+}
+
+// PredictBatch estimates A(q|v) for many feature sets at once, fanning
+// the forward passes across parallelism workers (0 selects
+// runtime.NumCPU(); 1 runs serially). Forward passes only read the
+// shared weights and allocate their activations locally, so each
+// element of the result is bit-identical to a standalone Predict call
+// regardless of batch composition or concurrency — the property the
+// serving layer's micro-batcher depends on. Results are returned in
+// input order.
+func (m *Model) PredictBatch(fs []featenc.Features, parallelism int) []float64 {
+	defer obs.StartSpan("wd.infer.batch")()
+	if m.Norm == nil {
+		m.Norm = featenc.FitNormalizer(nil)
+	}
+	obsInferCount.Add(int64(len(fs)))
+	obsInferBatches.Inc()
+	out := make([]float64, len(fs))
+	nn.ParallelFor(len(fs), parallelism, func(i int) {
+		y, _ := m.forward(fs[i])
+		out[i] = y*m.yStd + m.yMean
+	})
+	return out
 }
 
 // Sample is one training example: features plus the measured cost A(q|v).
