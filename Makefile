@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-train bench-obs bench-serve vet lint autoviewlint
+.PHONY: build test test-race test-alloc fuzz-smoke bench bench-train bench-obs bench-serve bench-predict vet lint autoviewlint
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,18 @@ test:
 # all exercise their goroutines under -short.
 test-race:
 	$(GO) test -race -short ./...
+
+# Allocation-regression gate: steady-state Predict must allocate zero
+# and the serve micro-batcher's per-pair cost must stay allocation-free
+# (see internal/widedeep/infer_test.go and internal/serve/alloc_test.go).
+test-alloc:
+	$(GO) test -run 'Alloc|AllocsBatchSizeIndependent|ArenaConverges' ./internal/widedeep/ ./internal/serve/ ./internal/nn/ -v -count=1
+
+# Short native-fuzz pass over the API JSON decode paths (seeds +
+# 10s of mutation per target).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzEstimateDecode -fuzztime 10s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz FuzzAdviseDecode -fuzztime 10s ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -31,6 +43,11 @@ bench-obs:
 # scheduler at Parallelism 1/4/8 (SERVING.md).
 bench-serve:
 	$(GO) test -bench=BenchmarkServeEstimate -run=^$$ .
+
+# Zero-allocation inference fast path: ns/op and allocs/op of a single
+# steady-state Model.Predict (EXPERIMENTS.md).
+bench-predict:
+	$(GO) test -bench=BenchmarkPredictAlloc -benchmem -run=^$$ .
 
 vet:
 	$(GO) vet ./...

@@ -18,8 +18,12 @@ import (
 
 	"autoview/internal/core"
 	"autoview/internal/experiments"
+	"autoview/internal/featenc"
 	"autoview/internal/nn"
+	"autoview/internal/obs"
+	"autoview/internal/plan"
 	"autoview/internal/serve"
+	"autoview/internal/widedeep"
 	"autoview/internal/workload"
 )
 
@@ -156,6 +160,64 @@ func BenchmarkServeEstimate(b *testing.B) {
 			b.ReportMetric(4*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
 		})
 	}
+}
+
+// BenchmarkPredictAlloc measures the serving-critical single-inference
+// path: one widedeep.Model.Predict over a realistic (query, view) feature
+// set, reporting ns/op and — the regression guard — allocs/op. The
+// steady-state fast path must stay at 0 allocs/op (see the allocation
+// tests in internal/widedeep); any per-call garbage shows up here first.
+func BenchmarkPredictAlloc(b *testing.B) {
+	w := workload.WK(workload.WKParams{
+		Name:            "bench",
+		Projects:        2,
+		FactsPerProject: 2,
+		DimsPerProject:  1,
+		Queries:         8,
+		FragsPerProject: 2,
+		Skew:            1.2,
+		RowSkew:         1.5,
+		Seed:            77,
+	})
+	q, err := plan.Parse(w.Queries[0].SQL, w.Cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := plan.ExtractSubqueries(q)
+	if len(subs) == 0 {
+		b.Fatal("no subqueries to pair with")
+	}
+	f := featenc.Extract(q, subs[0].Root, w.Cat)
+
+	rng := rand.New(rand.NewSource(9))
+	m := widedeep.New(featenc.NewVocab(w.Cat, nil), widedeep.Config{
+		Encoder: featenc.Config{EmbedDim: 16, Hidden: 16},
+	}, rng)
+	samples := []widedeep.Sample{{F: f, Y: 1}, {F: f, Y: 2}}
+	if _, err := m.Fit(samples, widedeep.TrainConfig{Epochs: 1, BatchSize: 2}); err != nil {
+		b.Fatal(err)
+	}
+
+	// Pin the obs registry off: earlier benchmarks in the same process
+	// (BenchmarkServeEstimate) mount the obs endpoint, which enables
+	// span timing globally, and an enabled span allocates. That cost
+	// belongs to bench-obs; this benchmark isolates the inference path.
+	wasEnabled := obs.Enabled()
+	obs.Disable()
+	b.Cleanup(func() {
+		if wasEnabled {
+			obs.Enable()
+		}
+	})
+
+	var sink float64
+	sink = m.Predict(f) // warm up scratch state before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = m.Predict(f)
+	}
+	_ = sink
 }
 
 func itoa(n int) string {

@@ -121,10 +121,16 @@ func FitNormalizer(rows [][]float64) *Normalizer {
 // Apply standardizes one feature vector (out of place).
 func (n *Normalizer) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = (v - n.Mean[i]) / n.Std[i]
-	}
+	n.ApplyInto(out, x)
 	return out
+}
+
+// ApplyInto standardizes x into dst (same length), the allocation-free
+// form used by the inference fast path.
+func (n *Normalizer) ApplyInto(dst, x []float64) {
+	for i, v := range x {
+		dst[i] = (v - n.Mean[i]) / n.Std[i]
+	}
 }
 
 func ones(n int) []float64 {

@@ -1,0 +1,122 @@
+package featenc
+
+import (
+	"autoview/internal/nn"
+	"autoview/internal/plan"
+)
+
+// Forward-only encoder paths. Each Infer* mirrors its Encode*
+// counterpart operation for operation — bit-identical outputs, enforced
+// by the parity tests — but builds no backward closures and draws every
+// intermediate from the caller's nn.Arena, so the serving-side W-D
+// forward allocates nothing.
+
+// Infer encodes a string forward-only (char embedding → two conv blocks
+// → column-wise average pooling).
+func (s *StringEncoder) Infer(str string, a *nn.Arena) nn.Vec {
+	if len(str) == 0 {
+		return a.Vec(s.Dim())
+	}
+	rows := a.Vecs(len(str))
+	for i := 0; i < len(str); i++ {
+		id := int(str[i])
+		if id >= charSpace {
+			id = 0
+		}
+		rows[i] = s.CharEmb.Infer(id, a)
+	}
+	m1 := s.Block1.Infer(rows, a)
+	m2 := s.Block2.Infer(m1, a)
+	out := a.Vec(s.Dim())
+	nn.AvgPoolColsInto(out, m2)
+	return out
+}
+
+// inferKeyword produces the (unpadded) keyword code forward-only.
+func (e *Encoder) inferKeyword(word string, a *nn.Arena) nn.Vec {
+	if e.Cfg.KeywordOneHot {
+		v := a.Vec(e.Vocab.Size())
+		v[e.Vocab.ID(word)] = 1
+		return v
+	}
+	return e.KwEmb.Infer(e.Vocab.ID(word), a)
+}
+
+// inferString produces the (unpadded) string code forward-only.
+func (e *Encoder) inferString(s string, a *nn.Arena) nn.Vec {
+	if e.Cfg.StringOneHot {
+		v := a.Vec(charSpace)
+		if len(s) > 0 {
+			inv := 1 / float64(len(s))
+			for i := 0; i < len(s); i++ {
+				id := int(s[i])
+				if id >= charSpace {
+					id = 0
+				}
+				v[id] += inv
+			}
+		}
+		return v
+	}
+	return e.Str.Infer(s, a)
+}
+
+// InferToken encodes one plan token forward-only, padded to TokenDim.
+func (e *Encoder) InferToken(t plan.Tok, a *nn.Arena) nn.Vec {
+	var v nn.Vec
+	if t.Str {
+		v = e.inferString(t.Text, a)
+	} else {
+		v = e.inferKeyword(t.Text, a)
+	}
+	if len(v) == e.tokDim {
+		return v
+	}
+	padded := a.Vec(e.tokDim)
+	copy(padded, v)
+	return padded
+}
+
+// InferPlan encodes a two-dimensional plan sequence forward-only
+// (LSTM1 over each operator's tokens, LSTM2 over the operator codes; or
+// nested average pooling under N-Exp).
+func (e *Encoder) InferPlan(p [][]plan.Tok, a *nn.Arena) nn.Vec {
+	if len(p) == 0 {
+		return a.Vec(e.PlanDim())
+	}
+	opVecs := a.Vecs(len(p))
+	for i, seq := range p {
+		tokVecs := a.Vecs(len(seq))
+		for j, tok := range seq {
+			tokVecs[j] = e.InferToken(tok, a)
+		}
+		if e.Cfg.NoSequence {
+			v := a.Vec(e.tokDim)
+			nn.AvgPoolInto(v, tokVecs)
+			opVecs[i] = v
+		} else {
+			opVecs[i] = e.LSTM1.Infer(tokVecs, a)
+		}
+	}
+	if e.Cfg.NoSequence {
+		v := a.Vec(e.tokDim)
+		nn.AvgPoolInto(v, opVecs)
+		return v
+	}
+	return e.LSTM2.Infer(opVecs, a)
+}
+
+// InferSchema encodes the schema keyword set forward-only (average
+// pooling of keyword codes).
+func (e *Encoder) InferSchema(keywords []string, a *nn.Arena) nn.Vec {
+	if len(keywords) == 0 {
+		return a.Vec(e.SchemaDim())
+	}
+	vecs := a.Vecs(len(keywords))
+	for i, k := range keywords {
+		vecs[i] = e.inferKeyword(k, a)
+	}
+	v := a.Vec(e.SchemaDim())
+	nn.AvgPoolInto(v, vecs)
+	return v
+}

@@ -1,0 +1,132 @@
+package nn
+
+// Arena is a reusable bump allocator for inference scratch memory: the
+// forward-only Infer paths carve their activations out of it instead of
+// the heap, so a steady-state prediction performs zero allocations.
+//
+// Memory is held in chunks that survive Reset. A fresh arena grows while
+// the first few calls discover the model's working-set shape; after that
+// every Reset rewinds to the start of the existing chunks and the same
+// call sequence walks them without touching the allocator. Chunks only
+// ever grow (a position's chunk is replaced by a larger one when a
+// request outsizes it), so the footprint converges to the high-water
+// mark of the shapes seen.
+//
+// An arena is NOT safe for concurrent use: give each worker its own
+// (widedeep keeps a pool of them, one handed to each ParallelFor
+// worker). Vectors returned by Vec/Vecs/Mat are valid until the next
+// Reset; callers must not retain them across predictions.
+type Arena struct {
+	floats   [][]float64 // float64 chunks
+	fi, foff int         // current float chunk and offset
+	vecs     [][]Vec     // []Vec-header chunks (for matrices)
+	vi, voff int         // current header chunk and offset
+}
+
+// minFloatChunk and minVecChunk size freshly grown chunks; requests
+// larger than the minimum get a dedicated chunk of their own size.
+const (
+	minFloatChunk = 4096
+	minVecChunk   = 256
+)
+
+// NewArena returns an empty arena; it sizes itself to the model on
+// first use.
+func NewArena() *Arena { return &Arena{} }
+
+// Reset rewinds the arena, invalidating every previously returned
+// vector while keeping the chunks for reuse.
+func (a *Arena) Reset() {
+	a.fi, a.foff = 0, 0
+	a.vi, a.voff = 0, 0
+}
+
+// Vec returns a zeroed n-vector carved from the arena (same contract as
+// a fresh make: all elements 0).
+func (a *Arena) Vec(n int) Vec {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.fi < len(a.floats) {
+			chunk := a.floats[a.fi]
+			if a.foff+n <= len(chunk) {
+				v := chunk[a.foff : a.foff+n : a.foff+n]
+				a.foff += n
+				clear(v)
+				return v
+			}
+			if a.foff == 0 && n > len(chunk) {
+				// This position's chunk can never fit the request: grow
+				// it in place so the next Reset walk succeeds directly.
+				a.floats[a.fi] = make([]float64, n)
+				continue
+			}
+			// Chunk full (or too small but partially handed out): advance.
+			a.fi++
+			a.foff = 0
+			continue
+		}
+		size := n
+		if size < minFloatChunk {
+			size = minFloatChunk
+		}
+		a.floats = append(a.floats, make([]float64, size))
+		a.foff = 0
+	}
+}
+
+// Vecs returns a cleared slice of n vector headers (all nil), for
+// building matrices row by row.
+func (a *Arena) Vecs(n int) []Vec {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.vi < len(a.vecs) {
+			chunk := a.vecs[a.vi]
+			if a.voff+n <= len(chunk) {
+				v := chunk[a.voff : a.voff+n : a.voff+n]
+				a.voff += n
+				clear(v)
+				return v
+			}
+			if a.voff == 0 && n > len(chunk) {
+				a.vecs[a.vi] = make([]Vec, n)
+				continue
+			}
+			a.vi++
+			a.voff = 0
+			continue
+		}
+		size := n
+		if size < minVecChunk {
+			size = minVecChunk
+		}
+		a.vecs = append(a.vecs, make([]Vec, size))
+		a.voff = 0
+	}
+}
+
+// Mat returns a zeroed t×d matrix (t row vectors of width d) carved from
+// the arena.
+func (a *Arena) Mat(t, d int) []Vec {
+	m := a.Vecs(t)
+	for i := range m {
+		m[i] = a.Vec(d)
+	}
+	return m
+}
+
+// Bytes reports the arena's current footprint (the high-water scratch
+// size of the shapes it has served), for observability.
+func (a *Arena) Bytes() int {
+	total := 0
+	for _, c := range a.floats {
+		total += 8 * len(c)
+	}
+	for _, c := range a.vecs {
+		total += 24 * len(c)
+	}
+	return total
+}

@@ -1,0 +1,321 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The inference fast path promises bit-identity with the training
+// forward: every test here compares with ==, not a tolerance.
+
+func randVec(rng *rand.Rand, n int) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 2
+	}
+	return v
+}
+
+func assertBitEqual(t *testing.T, ctx string, want, got Vec) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d != %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] { //lint:allow floateq bit-identity is the property under test
+			t.Fatalf("%s: element %d: %v != %v (diff %g)", ctx, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+// inferTwice runs fn once, snapshots the result, resets the arena and
+// runs it again — proving results survive arena reuse bit-exactly.
+func inferTwice(t *testing.T, ctx string, a *Arena, fn func() Vec) Vec {
+	t.Helper()
+	a.Reset()
+	first := append(Vec(nil), fn()...)
+	a.Reset()
+	second := fn()
+	assertBitEqual(t, ctx+" (arena reuse)", first, second)
+	return first
+}
+
+func TestLinearInferParity(t *testing.T) {
+	a := NewArena()
+	for trial := 0; trial < 120; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		in, out := 1+rng.Intn(12), 1+rng.Intn(12)
+		l := NewLinear("t.lin", in, out, rng)
+		x := randVec(rng, in)
+		want, _ := l.Forward(x)
+		got := inferTwice(t, "Linear", a, func() Vec { return l.Infer(x, a) })
+		assertBitEqual(t, "Linear.Infer", want, got)
+		dst := make(Vec, out)
+		l.InferInto(dst, x)
+		assertBitEqual(t, "Linear.InferInto", want, dst)
+	}
+}
+
+func TestActivationInferParity(t *testing.T) {
+	type act struct {
+		name    string
+		forward func(Vec) (Vec, Backward)
+		into    func(dst, x Vec)
+	}
+	acts := []act{
+		{"ReLU", ReLU, ReLUInto},
+		{"Sigmoid", Sigmoid, SigmoidInto},
+		{"Tanh", Tanh, TanhInto},
+	}
+	for _, ac := range acts {
+		for trial := 0; trial < 40; trial++ {
+			rng := rand.New(rand.NewSource(int64(2000 + trial)))
+			x := randVec(rng, 1+rng.Intn(20))
+			want, _ := ac.forward(x)
+			dst := make(Vec, len(x))
+			ac.into(dst, x)
+			assertBitEqual(t, ac.name+"Into", want, dst)
+			// In place: dst aliasing x must produce the same values.
+			alias := append(Vec(nil), x...)
+			ac.into(alias, alias)
+			assertBitEqual(t, ac.name+"Into (aliased)", want, alias)
+		}
+	}
+}
+
+func TestSumConcatInferParity(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(3000 + trial)))
+		n := 1 + rng.Intn(16)
+		x, y := randVec(rng, n), randVec(rng, n)
+		want, _ := Add(x, y)
+		dst := make(Vec, n)
+		SumInto(dst, x, y)
+		assertBitEqual(t, "SumInto", want, dst)
+		alias := append(Vec(nil), x...)
+		SumInto(alias, alias, y)
+		assertBitEqual(t, "SumInto (aliased)", want, alias)
+
+		parts := make([]Vec, 1+rng.Intn(4))
+		for i := range parts {
+			parts[i] = randVec(rng, rng.Intn(6))
+		}
+		wantCat := Concat(parts...)
+		dstCat := make(Vec, len(wantCat))
+		ConcatInto(dstCat, parts...)
+		assertBitEqual(t, "ConcatInto", wantCat, dstCat)
+	}
+}
+
+func TestEmbeddingInferParity(t *testing.T) {
+	a := NewArena()
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		vocab, dim := 2+rng.Intn(20), 1+rng.Intn(12)
+		e := NewEmbedding("t.emb", vocab, dim, rng)
+		// Include out-of-range ids: both sides clamp to row 0.
+		for _, id := range []int{rng.Intn(vocab), -1, vocab + 3} {
+			want, _ := e.Forward(id)
+			got := inferTwice(t, "Embedding", a, func() Vec { return e.Infer(id, a) })
+			assertBitEqual(t, "Embedding.Infer", want, got)
+		}
+		// The arena copy must not alias the weight table.
+		a.Reset()
+		got := e.Infer(0, a)
+		got[0] += 1
+		if got[0] == e.W.Row(0)[0] { //lint:allow floateq aliasing check is exact
+			t.Fatalf("Embedding.Infer returned a view of the weight table")
+		}
+	}
+}
+
+func TestAvgPoolInferParity(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		n, dim := 1+rng.Intn(8), 1+rng.Intn(10)
+		xs := make([]Vec, n)
+		for i := range xs {
+			xs[i] = randVec(rng, dim)
+		}
+		want, _ := AvgPool(xs)
+		dst := make(Vec, dim)
+		AvgPoolInto(dst, xs)
+		assertBitEqual(t, "AvgPoolInto", want, dst)
+
+		wantCols, _ := AvgPoolCols(xs)
+		dstCols := make(Vec, dim)
+		AvgPoolColsInto(dstCols, xs)
+		assertBitEqual(t, "AvgPoolColsInto", wantCols, dstCols)
+	}
+}
+
+func TestMLPInferParity(t *testing.T) {
+	a := NewArena()
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(6000 + trial)))
+		dims := []int{1 + rng.Intn(8)}
+		for l := 0; l < 1+rng.Intn(3); l++ {
+			dims = append(dims, 1+rng.Intn(10))
+		}
+		m := NewMLP("t.mlp", dims, rng)
+		m.FinalActivation = trial%2 == 0
+		x := randVec(rng, dims[0])
+		want, _ := m.Forward(x)
+		got := inferTwice(t, "MLP", a, func() Vec { return m.Infer(x, a) })
+		assertBitEqual(t, "MLP.Infer", want, got)
+	}
+}
+
+func TestBatchNormInferParity(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		T, D := 1+rng.Intn(7), 1+rng.Intn(9)
+		bn := NewBatchNorm("t.bn")
+		bn.Gamma.Val[0] = 0.5 + rng.Float64()
+		bn.Beta.Val[0] = rng.NormFloat64()
+		m := make([]Vec, T)
+		for i := range m {
+			m[i] = randVec(rng, D)
+		}
+		want, _ := bn.Forward(m)
+		dst := make([]Vec, T)
+		for i := range dst {
+			dst[i] = make(Vec, D)
+		}
+		bn.InferInto(dst, m)
+		for i := range want {
+			assertBitEqual(t, "BatchNorm.InferInto", want[i], dst[i])
+		}
+		// In place: output aliasing input must match (the statistics are
+		// fully accumulated before any write).
+		alias := make([]Vec, T)
+		for i := range alias {
+			alias[i] = append(Vec(nil), m[i]...)
+		}
+		bn.InferInto(alias, alias)
+		for i := range want {
+			assertBitEqual(t, "BatchNorm.InferInto (aliased)", want[i], alias[i])
+		}
+	}
+}
+
+func TestConvBlockInferParity(t *testing.T) {
+	a := NewArena()
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(8000 + trial)))
+		T, D := 1+rng.Intn(7), 1+rng.Intn(9)
+		b := NewConvBlock("t.conv", rng)
+		m := make([]Vec, T)
+		for i := range m {
+			m[i] = randVec(rng, D)
+		}
+		want, _ := b.Forward(m)
+		a.Reset()
+		got := b.Infer(m, a)
+		if len(got) != len(want) {
+			t.Fatalf("ConvBlock.Infer rows %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			assertBitEqual(t, "ConvBlock.Infer", want[i], got[i])
+		}
+		// Arena reuse.
+		snap := make([]Vec, len(got))
+		for i := range got {
+			snap[i] = append(Vec(nil), got[i]...)
+		}
+		a.Reset()
+		again := b.Infer(m, a)
+		for i := range snap {
+			assertBitEqual(t, "ConvBlock.Infer (arena reuse)", snap[i], again[i])
+		}
+	}
+}
+
+func TestLSTMInferParity(t *testing.T) {
+	a := NewArena()
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		in, hidden := 1+rng.Intn(8), 1+rng.Intn(8)
+		steps := 1 + rng.Intn(6)
+		l := NewLSTM("t.lstm", in, hidden, rng)
+		xs := make([]Vec, steps)
+		for i := range xs {
+			xs[i] = randVec(rng, in)
+		}
+		want, _ := l.Forward(xs)
+		got := inferTwice(t, "LSTM", a, func() Vec { return l.Infer(xs, a) })
+		assertBitEqual(t, "LSTM.Infer", want, got)
+
+		// Single-step parity with explicit state, including the aliased
+		// form LSTM.Infer relies on (hNext/cNext overwriting h/cPrev).
+		h0, c0 := randVec(rng, hidden), randVec(rng, hidden)
+		x := xs[0]
+		wantH, wantC, _ := l.Cell.Step(x, h0, c0)
+		pre := make(Vec, 4*hidden)
+		hN, cN := make(Vec, hidden), make(Vec, hidden)
+		l.Cell.InferStep(hN, cN, pre, x, h0, c0)
+		assertBitEqual(t, "LSTMCell.InferStep h", wantH, hN)
+		assertBitEqual(t, "LSTMCell.InferStep c", wantC, cN)
+		hA := append(Vec(nil), h0...)
+		cA := append(Vec(nil), c0...)
+		l.Cell.InferStep(hA, cA, pre, x, hA, cA)
+		assertBitEqual(t, "LSTMCell.InferStep h (aliased)", wantH, hA)
+		assertBitEqual(t, "LSTMCell.InferStep c (aliased)", wantC, cA)
+	}
+}
+
+// TestInferConcurrentWorkers runs the fast path from many goroutines,
+// each with its own arena, against Forward outputs computed up front —
+// the -race pass proves per-worker arenas fully isolate the scratch.
+func TestInferConcurrentWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMLP("t.conc", []int{6, 16, 16, 1}, rng)
+	const n = 256
+	xs := make([]Vec, n)
+	want := make([]Vec, n)
+	for i := range xs {
+		xs[i] = randVec(rng, 6)
+		want[i], _ = m.Forward(xs[i])
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := NewArena()
+			for i := 0; i < n; i++ {
+				a.Reset()
+				got := m.Infer(xs[i], a)
+				assertBitEqual(t, "concurrent MLP.Infer", want[i], got)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestParallelForWorker(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 64
+		seen := make([]int32, n)
+		ParallelForWorker(n, workers, func(w, i int) {
+			eff := Workers(n, workers)
+			if w < 0 || w >= eff {
+				t.Errorf("worker index %d out of range [0,%d)", w, eff)
+			}
+			seen[i]++
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+	if got := Workers(5, 100); got != 5 {
+		t.Fatalf("Workers(5, 100) = %d, want 5", got)
+	}
+	if got := Workers(5, 2); got != 2 {
+		t.Fatalf("Workers(5, 2) = %d, want 2", got)
+	}
+}

@@ -15,18 +15,39 @@ import (
 // serial one. This is the fan-out primitive behind the advisor's pair
 // measurement and the W-D batched predict path.
 func ParallelFor(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
+	ParallelForWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// Workers resolves the effective worker count ParallelFor/
+// ParallelForWorker will use for n items: workers <= 0 selects
+// runtime.NumCPU(), and the pool is capped at n. Callers that stage
+// per-worker state (e.g. one inference Arena per worker) size it with
+// this.
+func Workers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// ParallelForWorker is ParallelFor with the worker index exposed:
+// fn(w, i) runs with w in [0, Workers(n, workers)), and each w is owned
+// by exactly one goroutine at a time, so fn may freely use per-worker
+// scratch state (an inference Arena, an accumulator slot) indexed by w.
+// The same determinism contract applies: writes must be confined to
+// index-i-owned state; per-worker scratch must not leak into results in
+// a scheduling-dependent way.
+func ParallelForWorker(n, workers int, fn func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -34,16 +55,16 @@ func ParallelFor(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

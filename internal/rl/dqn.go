@@ -11,6 +11,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"autoview/internal/mvs"
 	"autoview/internal/nn"
@@ -148,6 +150,13 @@ type Agent struct {
 	trainer *nn.Trainer
 	batch   []Experience
 	batchN  float64
+
+	// arenas pools inference scratch for the forward-only Q evaluation
+	// fast path (action scoring and the Learn bootstrap target, which
+	// the trainer's workers evaluate concurrently). spareArena pins one
+	// warm arena across GC cycles, which empty the sync.Pool wholesale.
+	arenas     sync.Pool
+	spareArena atomic.Pointer[nn.Arena]
 }
 
 // NewAgent allocates an initialized agent.
@@ -175,9 +184,35 @@ func NewAgent(cfg AgentConfig, rng *rand.Rand) *Agent {
 	return a
 }
 
-// Q evaluates μ(e,a|θ) for one action's features.
+// getArena hands out a pooled inference arena (one per concurrent
+// evaluator; warm arenas make steady-state Q evaluation allocation-free).
+// The pinned spare survives garbage collections, so serial scoring stays
+// allocation-free even in GC-heavy processes.
+func (a *Agent) getArena() *nn.Arena {
+	if ar := a.spareArena.Swap(nil); ar != nil {
+		return ar
+	}
+	if ar, ok := a.arenas.Get().(*nn.Arena); ok {
+		return ar
+	}
+	return nn.NewArena()
+}
+
+// putArena returns an arena to the spare slot or the overflow pool.
+func (a *Agent) putArena(ar *nn.Arena) {
+	if a.spareArena.CompareAndSwap(nil, ar) {
+		return
+	}
+	a.arenas.Put(ar)
+}
+
+// Q evaluates μ(e,a|θ) for one action's features through the
+// forward-only fast path (bit-identical to the training forward).
 func (a *Agent) Q(feat []float64) float64 {
-	y, _ := a.QNet.Forward(feat)
+	ar := a.getArena()
+	ar.Reset()
+	y := a.QNet.Infer(feat, ar)
+	a.putArena(ar)
 	return y
 }
 
@@ -185,29 +220,40 @@ func (a *Agent) Q(feat []float64) float64 {
 // configured, else the online network).
 func (a *Agent) targetQ(feat []float64) float64 {
 	if a.target != nil {
-		y, _ := a.target.Forward(feat)
+		ar := a.getArena()
+		ar.Reset()
+		y := a.target.Infer(feat, ar)
+		a.putArena(ar)
 		return y
 	}
 	return a.Q(feat)
 }
 
-// QValues evaluates the Q-vector Q(e) = [μ(e,a_1), ..., μ(e,a_n)].
+// QValues evaluates the Q-vector Q(e) = [μ(e,a_1), ..., μ(e,a_n)],
+// reusing one inference arena across all actions.
 func (a *Agent) QValues(feats [][]float64) []float64 {
 	out := make([]float64, len(feats))
+	ar := a.getArena()
 	for j, f := range feats {
-		out[j] = a.Q(f)
+		ar.Reset()
+		out[j] = a.QNet.Infer(f, ar)
 	}
+	a.putArena(ar)
 	return out
 }
 
-// BestAction returns argmax_i Q(e)[i].
+// BestAction returns argmax_i Q(e)[i], reusing one inference arena
+// across all actions.
 func (a *Agent) BestAction(feats [][]float64) int {
 	best, bestQ := 0, math.Inf(-1)
+	ar := a.getArena()
 	for j, f := range feats {
-		if q := a.Q(f); q > bestQ {
+		ar.Reset()
+		if q := a.QNet.Infer(f, ar); q > bestQ {
 			best, bestQ = j, q
 		}
 	}
+	a.putArena(ar)
 	return best
 }
 

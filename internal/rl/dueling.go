@@ -15,6 +15,10 @@ type QNetwork interface {
 	// Forward returns Q(e,a) for one action's features plus the
 	// backward closure.
 	Forward(feat nn.Vec) (float64, func(dy float64))
+	// Infer returns Q(e,a) forward-only, drawing scratch from the
+	// arena: bit-identical to Forward but with no backward closures and
+	// no heap allocations — the action-scoring fast path.
+	Infer(feat nn.Vec, a *nn.Arena) float64
 	// Clone returns an architecture copy with independent parameters
 	// initialized to the same values (for target networks).
 	Clone() QNetwork
@@ -37,6 +41,10 @@ func (m *mlpQ) Params() []*nn.Param { return m.net.Params() }
 func (m *mlpQ) Forward(feat nn.Vec) (float64, func(dy float64)) {
 	y, back := m.net.Forward(feat)
 	return y[0], func(dy float64) { back(nn.Vec{dy}) }
+}
+
+func (m *mlpQ) Infer(feat nn.Vec, a *nn.Arena) float64 {
+	return m.net.Infer(feat, a)[0]
 }
 
 func (m *mlpQ) Clone() QNetwork {
@@ -93,6 +101,17 @@ func (d *DuelingQ) Forward(feat nn.Vec) (float64, func(dy float64)) {
 		bTrunk(dH)
 	}
 	return q, back
+}
+
+// Infer implements QNetwork: the same trunk → value/advantage
+// computation as Forward with arena-backed scratch (the trunk ReLU runs
+// in place — elementwise, so values match Forward exactly).
+func (d *DuelingQ) Infer(feat nn.Vec, a *nn.Arena) float64 {
+	h := d.Trunk.Infer(feat, a)
+	nn.ReLUInto(h, h)
+	v := d.Value.Infer(h, a)
+	adv := d.Adv.Infer(h, a)
+	return v[0] + adv[0]
 }
 
 // Clone implements QNetwork.

@@ -1,0 +1,78 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"autoview/internal/nn"
+)
+
+// TestQNetworkInferParity pins the action-scoring fast path: Infer must
+// return exactly what Forward returns, for both architectures, across
+// many random inputs and with a reused arena.
+func TestQNetworkInferParity(t *testing.T) {
+	nets := map[string]func(*rand.Rand) QNetwork{
+		"mlp":     NewMLPQ,
+		"dueling": NewDuelingQ,
+	}
+	for _, name := range []string{"mlp", "dueling"} {
+		q := nets[name](rand.New(rand.NewSource(11)))
+		a := nn.NewArena()
+		rng := rand.New(rand.NewSource(12))
+		for trial := 0; trial < 120; trial++ {
+			feat := make(nn.Vec, FeatureDim)
+			for i := range feat {
+				feat[i] = rng.NormFloat64()
+			}
+			want, _ := q.Forward(feat)
+			a.Reset()
+			got := q.Infer(feat, a)
+			if got != want { //lint:allow floateq bit-identity is the property under test
+				t.Fatalf("%s trial %d: Infer = %v, Forward = %v", name, trial, got, want)
+			}
+			a.Reset()
+			if again := q.Infer(feat, a); again != got { //lint:allow floateq bit-identity is the property under test
+				t.Fatalf("%s trial %d: warm-arena Infer drifted: %v != %v", name, trial, again, got)
+			}
+		}
+	}
+}
+
+// TestAgentScoringUsesParityPath cross-checks the agent's scoring
+// surface (Q, QValues, BestAction) against direct Forward evaluation.
+func TestAgentScoringUsesParityPath(t *testing.T) {
+	for _, dueling := range []bool{false, true} {
+		ag := NewAgent(AgentConfig{Dueling: dueling, Seed: 5}, nil)
+		rng := rand.New(rand.NewSource(6))
+		feats := make([][]float64, 9)
+		want := make([]float64, len(feats))
+		bestJ, bestQ := 0, 0.0
+		for j := range feats {
+			feats[j] = make([]float64, FeatureDim)
+			for i := range feats[j] {
+				feats[j][i] = rng.NormFloat64()
+			}
+			want[j], _ = ag.QNet.Forward(feats[j])
+			if j == 0 || want[j] > bestQ {
+				bestJ, bestQ = j, want[j]
+			}
+		}
+		for j := range feats {
+			if got := ag.Q(feats[j]); got != want[j] { //lint:allow floateq bit-identity is the property under test
+				t.Fatalf("dueling=%v: Q(%d) = %v, Forward = %v", dueling, j, got, want[j])
+			}
+			if got := ag.targetQ(feats[j]); got != want[j] { //lint:allow floateq bit-identity is the property under test
+				t.Fatalf("dueling=%v: targetQ(%d) = %v, Forward = %v", dueling, j, got, want[j])
+			}
+		}
+		qv := ag.QValues(feats)
+		for j := range want {
+			if qv[j] != want[j] { //lint:allow floateq bit-identity is the property under test
+				t.Fatalf("dueling=%v: QValues[%d] = %v, Forward = %v", dueling, j, qv[j], want[j])
+			}
+		}
+		if got := ag.BestAction(feats); got != bestJ {
+			t.Fatalf("dueling=%v: BestAction = %d, want %d (q=%v)", dueling, got, bestJ, bestQ)
+		}
+	}
+}

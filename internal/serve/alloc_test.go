@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"autoview/internal/catalog"
+	"autoview/internal/featenc"
+	"autoview/internal/obs"
+	"autoview/internal/plan"
+	"autoview/internal/widedeep"
+)
+
+// allocModel builds a small standalone W-D model plus one real feature
+// set, bypassing the full server bootstrap so the allocation
+// measurements stay fast and deterministic.
+func allocModel(t *testing.T) (*widedeep.Model, featenc.Features) {
+	t.Helper()
+	cat := catalog.New()
+	for _, tb := range []*catalog.Table{
+		{
+			Name: "user_memo",
+			Columns: []catalog.Column{
+				{Name: "user_id", Type: catalog.TypeInt, Distinct: 40},
+				{Name: "memo_type", Type: catalog.TypeString, Distinct: 4},
+				{Name: "dt", Type: catalog.TypeString, Distinct: 5},
+			},
+			Stats: catalog.TableStats{Rows: 400, Bytes: 12800},
+		},
+	} {
+		if err := cat.Add(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sql := `select user_id from ( select user_id, dt from user_memo where memo_type = 'pen' ) t1 where dt = '10'`
+	q, err := plan.Parse(sql, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := plan.ExtractSubqueries(q)
+	if len(subs) == 0 {
+		t.Fatal("no subqueries extracted")
+	}
+	f := featenc.Extract(q, subs[0].Root, cat)
+	vocab := featenc.NewVocab(cat, nil)
+	m := widedeep.New(vocab, widedeep.Config{
+		Encoder:    featenc.Config{EmbedDim: 4, Hidden: 4},
+		WideDim:    4,
+		DeepHidden: 6,
+		RegHidden:  4,
+	}, rand.New(rand.NewSource(3)))
+	m.Norm = featenc.FitNormalizer([][]float64{f.Numeric})
+	return m, f
+}
+
+// TestBatcherSteadyStateAllocs pins the micro-batcher's allocation cost
+// model: a small per-batch constant (request bookkeeping, coalescing
+// timer, result slices) and zero per-element allocations — the model's
+// pooled inference arenas are reused across successive batches, so a
+// 32x larger request must not cost a single extra allocation.
+func TestBatcherSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops random Put items under -race; allocation counts need the plain build")
+	}
+	// Pin the obs registry off: other tests in this package mount the
+	// obs endpoint (which enables span timing globally), and an enabled
+	// span allocates — a constant per batch, but pinned off here so the
+	// measured numbers are stable under any test ordering.
+	if obs.Enabled() {
+		obs.Disable()
+		t.Cleanup(obs.Enable)
+	}
+	m, f := allocModel(t)
+	b := newBatcher(Config{
+		Parallelism: 1,
+		MaxBatch:    1, // any submit fills the batch: no window wait
+		BatchWindow: time.Millisecond,
+		QueueDepth:  8,
+	}, func() (*widedeep.Model, float64) { return m, 2 })
+	defer b.close(context.Background())
+
+	cycle := func(fs []featenc.Features, out []float64) {
+		req := &estRequest{fs: fs, out: out, done: make(chan struct{})}
+		if err := b.submit(req); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		<-req.done
+		if req.err != nil {
+			t.Fatalf("batch: %v", req.err)
+		}
+	}
+	small := []featenc.Features{f}
+	large := make([]featenc.Features, 32)
+	for i := range large {
+		large[i] = f
+	}
+	outSmall, outLarge := make([]float64, len(small)), make([]float64, len(large))
+	// Warm the model's arena pool to its high-water mark first.
+	cycle(large, outLarge)
+
+	aSmall := testing.AllocsPerRun(50, func() { cycle(small, outSmall) })
+	aLarge := testing.AllocsPerRun(50, func() { cycle(large, outLarge) })
+	if perElement := (aLarge - aSmall) / float64(len(large)-len(small)); perElement > 0.1 {
+		t.Fatalf("batcher allocates per element: %v allocs (batch 1: %v, batch 32: %v)",
+			perElement, aSmall, aLarge)
+	}
+	const maxPerBatch = 24
+	if aSmall > maxPerBatch {
+		t.Fatalf("per-batch constant = %v allocs, want <= %d", aSmall, maxPerBatch)
+	}
+}

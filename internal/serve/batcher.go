@@ -46,6 +46,10 @@ type estRequest struct {
 // through widedeep.PredictBatch's Parallelism-sized worker pool.
 // Per-pair results are bit-identical to sequential inference (see
 // PredictBatch), so batching is purely a throughput optimization.
+// PredictBatch's workers draw their scratch from the model's pooled
+// inference arenas, which persist across micro-batches — so after the
+// first few requests warm the pool, the per-pair serving cost performs
+// zero heap allocations (see TestBatcherSteadyStateAllocs).
 type batcher struct {
 	parallelism int
 	maxBatch    int

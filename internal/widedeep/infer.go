@@ -1,0 +1,83 @@
+package widedeep
+
+import (
+	"autoview/internal/featenc"
+	"autoview/internal/nn"
+)
+
+// inferForward is the forward-only twin of forward: the same Figure-5
+// computation in the same operation order (bit-identical output, see the
+// parity tests), with every activation carved out of the caller's arena
+// and no backward closures built. Predict and PredictBatch run this on
+// the serving critical path, so a steady-state call allocates nothing.
+func (m *Model) inferForward(f featenc.Features, a *nn.Arena) float64 {
+	dc := a.Vec(len(f.Numeric))
+	m.Norm.ApplyInto(dc, f.Numeric)
+
+	dw := m.Wide.Infer(dc, a)
+	dm := m.Enc.InferSchema(f.Schema, a)
+	deQ := m.Enc.InferPlan(f.QueryPlan, a)
+	deV := m.Enc.InferPlan(f.ViewPlan, a)
+
+	dr := a.Vec(len(dc) + len(dm) + len(deQ) + len(deV))
+	nn.ConcatInto(dr, dc, dm, deQ, deV)
+
+	// ResNet block 1 (activations run in place on the layer outputs —
+	// elementwise, so values match the training forward exactly).
+	h1 := m.FC1.Infer(dr, a)
+	nn.ReLUInto(h1, h1)
+	h2 := m.FC2.Infer(h1, a)
+	nn.ReLUInto(h2, h2)
+	z1 := a.Vec(len(dr))
+	nn.SumInto(z1, dr, h2)
+
+	// ResNet block 2.
+	h3 := m.FC3.Infer(z1, a)
+	nn.ReLUInto(h3, h3)
+	h4 := m.FC4.Infer(h3, a)
+	nn.ReLUInto(h4, h4)
+	z2 := a.Vec(len(z1))
+	nn.SumInto(z2, z1, h4)
+
+	// Regressor. Ablations drop one branch entirely.
+	var reg nn.Vec
+	switch {
+	case m.cfg.WideOnly:
+		reg = dw
+	case m.cfg.DeepOnly:
+		reg = z2
+	default:
+		reg = a.Vec(len(dw) + len(z2))
+		nn.ConcatInto(reg, dw, z2)
+	}
+	h5 := m.FC5.Infer(reg, a)
+	nn.ReLUInto(h5, h5)
+	out := m.FC6.Infer(h5, a)
+	return out[0]
+}
+
+// getArena hands out a reusable inference arena (one per concurrent
+// predictor; warm arenas carry the model's scratch high-water mark, so
+// steady-state use allocates nothing). The pinned spare slot is tried
+// before the pool: it survives garbage collections, which empty a
+// sync.Pool wholesale, so even a GC-heavy process keeps at least one
+// warm arena and the single-predictor path stays allocation-free.
+func (m *Model) getArena() *nn.Arena {
+	if a := m.spare.Swap(nil); a != nil {
+		return a
+	}
+	if a, ok := m.arenas.Get().(*nn.Arena); ok {
+		return a
+	}
+	return nn.NewArena()
+}
+
+// putArena returns an arena to the spare slot (or the overflow pool)
+// and publishes its footprint.
+func (m *Model) putArena(a *nn.Arena) {
+	obsArenaBytes.Set(float64(a.Bytes()))
+	if m.spare.CompareAndSwap(nil, a) {
+		return
+	}
+	m.arenas.Put(a)
+}

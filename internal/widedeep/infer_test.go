@@ -1,0 +1,159 @@
+package widedeep
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"autoview/internal/featenc"
+	"autoview/internal/obs"
+)
+
+// disableObs pins the global obs registry off for one test: an enabled
+// span allocates, which would pollute the allocation counts (other
+// tests or packages may have enabled it).
+func disableObs(t *testing.T) {
+	t.Helper()
+	if obs.Enabled() {
+		obs.Disable()
+		t.Cleanup(obs.Enable)
+	}
+}
+
+// The serving path (Predict/PredictBatch) runs the forward-only arena
+// fast path; these tests pin its two contracts: bit-identity with the
+// training forward, and zero steady-state allocations.
+
+func inferTestModel(t *testing.T, enc featenc.Config, cfg Config) (*Model, []Sample) {
+	t.Helper()
+	cat := testCatalog(t)
+	vocab := featenc.NewVocab(cat, []string{"cnt"})
+	cfg.Encoder = enc
+	m := New(vocab, cfg, rand.New(rand.NewSource(7)))
+	samples := syntheticSamples(t, cat, 30)
+	numerics := make([][]float64, len(samples))
+	for i := range samples {
+		numerics[i] = samples[i].F.Numeric
+	}
+	m.Norm = featenc.FitNormalizer(numerics)
+	// Non-trivial output scaling so the de-standardization step is part
+	// of the parity check too.
+	m.yMean, m.yStd = 0.3, 2.1
+	return m, samples
+}
+
+// TestPredictMatchesForwardAllVariants compares Predict against the
+// training forward with == for every encoder variant and both
+// wide/deep ablations, twice per input (the second call replays a warm
+// arena): 6 configurations x 25 inputs x 2 calls.
+func TestPredictMatchesForwardAllVariants(t *testing.T) {
+	variants := Variants()
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type cfgCase struct {
+		name string
+		enc  featenc.Config
+		cfg  Config
+	}
+	cases := make([]cfgCase, 0, len(names)+2)
+	for _, name := range names {
+		cases = append(cases, cfgCase{name, variants[name], Config{WideDim: 4, DeepHidden: 6, RegHidden: 4}})
+	}
+	cases = append(cases,
+		cfgCase{"WideOnly", featenc.Config{EmbedDim: 4, Hidden: 4}, Config{WideDim: 4, DeepHidden: 6, RegHidden: 4, WideOnly: true}},
+		cfgCase{"DeepOnly", featenc.Config{EmbedDim: 4, Hidden: 4}, Config{WideDim: 4, DeepHidden: 6, RegHidden: 4, DeepOnly: true}},
+	)
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			c.enc.EmbedDim, c.enc.Hidden = 4, 4
+			m, samples := inferTestModel(t, c.enc, c.cfg)
+			for i := 0; i < 25; i++ {
+				f := samples[i%len(samples)].F
+				want, _ := m.forward(f)
+				want = want*m.yStd + m.yMean
+				got := m.Predict(f)
+				if got != want { //lint:allow floateq bit-identity is the property under test
+					t.Fatalf("input %d: Predict = %v, forward = %v (diff %g)", i, got, want, got-want)
+				}
+				if again := m.Predict(f); again != got { //lint:allow floateq bit-identity is the property under test
+					t.Fatalf("input %d: warm-arena Predict drifted: %v != %v", i, again, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchBitIdenticalAcrossParallelism checks every element of
+// PredictBatch against standalone Predict at several worker counts —
+// per-worker arenas must not leak state between elements (the -race run
+// covers the data-race side of the same property).
+func TestPredictBatchBitIdenticalAcrossParallelism(t *testing.T) {
+	m, samples := inferTestModel(t, featenc.Config{EmbedDim: 4, Hidden: 4}, Config{WideDim: 4, DeepHidden: 6, RegHidden: 4})
+	fs := make([]featenc.Features, 40)
+	for i := range fs {
+		fs[i] = samples[i%len(samples)].F
+	}
+	want := make([]float64, len(fs))
+	for i, f := range fs {
+		want[i] = m.Predict(f)
+	}
+	for _, par := range []int{0, 1, 3, 8} {
+		got := m.PredictBatch(fs, par)
+		for i := range want {
+			if got[i] != want[i] { //lint:allow floateq bit-identity is the property under test
+				t.Fatalf("parallelism %d, element %d: %v != %v", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPredictZeroAlloc is the allocation-regression gate on the single
+// prediction path: once the pooled arena is warm, Predict must not
+// touch the heap at all.
+func TestPredictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops random Put items under -race; allocation counts need the plain build")
+	}
+	disableObs(t)
+	m, samples := inferTestModel(t, featenc.Config{EmbedDim: 4, Hidden: 4}, Config{WideDim: 4, DeepHidden: 6, RegHidden: 4})
+	f := samples[0].F
+	var sink float64
+	if n := testing.AllocsPerRun(200, func() { sink = m.Predict(f) }); n != 0 {
+		t.Fatalf("steady-state Predict allocates %v allocs/op, want 0", n)
+	}
+	_ = sink
+}
+
+// TestPredictBatchAllocsBatchSizeIndependent pins the serial batch
+// path's cost model: a fixed per-batch constant (result slice, arena
+// bookkeeping) and zero per-element allocations — so an 8x larger batch
+// must cost exactly the same number of allocations.
+func TestPredictBatchAllocsBatchSizeIndependent(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops random Put items under -race; allocation counts need the plain build")
+	}
+	disableObs(t)
+	m, samples := inferTestModel(t, featenc.Config{EmbedDim: 4, Hidden: 4}, Config{WideDim: 4, DeepHidden: 6, RegHidden: 4})
+	batch := func(n int) []featenc.Features {
+		fs := make([]featenc.Features, n)
+		for i := range fs {
+			fs[i] = samples[i%len(samples)].F
+		}
+		return fs
+	}
+	small, large := batch(8), batch(64)
+	aSmall := testing.AllocsPerRun(100, func() { m.PredictBatch(small, 1) })
+	aLarge := testing.AllocsPerRun(100, func() { m.PredictBatch(large, 1) })
+	if aLarge != aSmall {
+		t.Fatalf("PredictBatch allocs grow with batch size: %v (n=8) vs %v (n=64)", aSmall, aLarge)
+	}
+	// The per-batch constant itself must stay pinned small.
+	const maxPerBatch = 8
+	if aSmall > maxPerBatch {
+		t.Fatalf("PredictBatch per-batch allocs = %v, want <= %d", aSmall, maxPerBatch)
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"autoview/internal/featenc"
 	"autoview/internal/nn"
@@ -33,6 +35,7 @@ import (
 var (
 	obsInferCount   = obs.Default.Counter("wd.infer.count", "W-D cost-model inferences (Predict calls or PredictBatch elements)")
 	obsInferBatches = obs.Default.Counter("wd.infer.batches", "W-D PredictBatch invocations")
+	obsArenaBytes   = obs.Default.Gauge("wd.infer.arena.bytes", "scratch footprint of the last returned W-D inference arena (per-worker high-water mark)")
 	obsTrainEpochs  = obs.Default.Counter("wd.train.epochs", "W-D training epochs completed")
 	obsTrainLoss    = obs.Default.Gauge("wd.train.loss", "mean training loss of the last W-D epoch")
 )
@@ -77,6 +80,16 @@ type Model struct {
 	yMean, yStd float64
 
 	cfg Config
+
+	// arenas pools per-worker inference scratch (nn.Arena) for the
+	// zero-allocation Predict/PredictBatch fast path. Warm arenas are
+	// reused across calls, batches and serving requests; the pool makes
+	// concurrent Predict calls safe without locking. spare pins one warm
+	// arena outside the pool: sync.Pool is emptied on every GC cycle,
+	// and without the pinned slot a collection would force the next
+	// Predict to rebuild its scratch from the heap.
+	arenas sync.Pool
+	spare  atomic.Pointer[nn.Arena]
 }
 
 // New builds an initialized model over the vocabulary.
@@ -223,24 +236,35 @@ func addVecs(a, b nn.Vec) nn.Vec {
 
 // Predict estimates A(q|v) for one feature set. The model must have been
 // trained (Fit) first.
+//
+// Predict runs the forward-only inference fast path: no backward
+// closures are built and every activation lives in a pooled nn.Arena,
+// so a steady-state call performs zero heap allocations while staying
+// bit-identical to the training forward (the parity tests enforce this).
+// Safe for concurrent use.
 func (m *Model) Predict(f featenc.Features) float64 {
 	defer obs.StartSpan("wd.infer")()
 	obsInferCount.Inc()
 	if m.Norm == nil {
 		m.Norm = featenc.FitNormalizer(nil)
 	}
-	y, _ := m.forward(f)
+	a := m.getArena()
+	a.Reset()
+	y := m.inferForward(f, a)
+	m.putArena(a)
 	return y*m.yStd + m.yMean
 }
 
 // PredictBatch estimates A(q|v) for many feature sets at once, fanning
-// the forward passes across parallelism workers (0 selects
-// runtime.NumCPU(); 1 runs serially). Forward passes only read the
-// shared weights and allocate their activations locally, so each
-// element of the result is bit-identical to a standalone Predict call
-// regardless of batch composition or concurrency — the property the
-// serving layer's micro-batcher depends on. Results are returned in
-// input order.
+// the forward-only passes across parallelism workers (0 selects
+// runtime.NumCPU(); 1 runs serially). Each worker owns one pooled
+// inference arena, reset per element and reused across the whole batch
+// (and, through the pool, across successive batches — the serving
+// micro-batcher's steady state). Forward passes only read the shared
+// weights, so each element of the result is bit-identical to a
+// standalone Predict call regardless of batch composition or
+// concurrency — the property the serving layer's micro-batcher depends
+// on. Results are returned in input order.
 func (m *Model) PredictBatch(fs []featenc.Features, parallelism int) []float64 {
 	defer obs.StartSpan("wd.infer.batch")()
 	if m.Norm == nil {
@@ -249,10 +273,22 @@ func (m *Model) PredictBatch(fs []featenc.Features, parallelism int) []float64 {
 	obsInferCount.Add(int64(len(fs)))
 	obsInferBatches.Inc()
 	out := make([]float64, len(fs))
-	nn.ParallelFor(len(fs), parallelism, func(i int) {
-		y, _ := m.forward(fs[i])
-		out[i] = y*m.yStd + m.yMean
+	workers := nn.Workers(len(fs), parallelism)
+	if workers <= 0 {
+		return out
+	}
+	arenas := make([]*nn.Arena, workers)
+	for w := range arenas {
+		arenas[w] = m.getArena()
+	}
+	nn.ParallelForWorker(len(fs), parallelism, func(w, i int) {
+		a := arenas[w]
+		a.Reset()
+		out[i] = m.inferForward(fs[i], a)*m.yStd + m.yMean
 	})
+	for _, a := range arenas {
+		m.putArena(a)
+	}
 	return out
 }
 

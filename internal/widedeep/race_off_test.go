@@ -1,0 +1,5 @@
+//go:build !race
+
+package widedeep
+
+const raceEnabled = false
