@@ -16,17 +16,21 @@ test:
 test-race:
 	$(GO) test -race -short ./...
 
-# Allocation-regression gate: steady-state Predict must allocate zero
-# and the serve micro-batcher's per-pair cost must stay allocation-free
-# (see internal/widedeep/infer_test.go and internal/serve/alloc_test.go).
+# Allocation-regression gate: steady-state Predict must allocate zero,
+# the serve micro-batcher's per-pair cost must stay allocation-free, the
+# warm fingerprint-cached /v1/estimate handler must stay within its
+# per-request budget, and fingerprinting itself must be zero-alloc (see
+# internal/widedeep/infer_test.go, internal/serve/alloc_test.go, and
+# internal/sqlparse/fingerprint_test.go).
 test-alloc:
-	$(GO) test -run 'Alloc|AllocsBatchSizeIndependent|ArenaConverges' ./internal/widedeep/ ./internal/serve/ ./internal/nn/ -v -count=1
+	$(GO) test -run 'Alloc|AllocsBatchSizeIndependent|ArenaConverges' ./internal/widedeep/ ./internal/serve/ ./internal/nn/ ./internal/sqlparse/ -v -count=1
 
-# Short native-fuzz pass over the API JSON decode paths (seeds +
-# 10s of mutation per target).
+# Short native-fuzz pass over the API JSON decode paths and the query
+# fingerprint canonicalizer (seeds + 10s of mutation per target).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEstimateDecode -fuzztime 10s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz FuzzAdviseDecode -fuzztime 10s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime 10s ./internal/sqlparse/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -40,9 +44,10 @@ bench-obs:
 	$(GO) test -bench=ObsOverhead -run=^$$ ./internal/obs/
 
 # Online-serving throughput: req/s through the micro-batching inference
-# scheduler at Parallelism 1/4/8 (SERVING.md).
+# scheduler at Parallelism 1/4/8, cold (cache disabled) and warm
+# (fingerprint cache primed) — see SERVING.md and BENCH_6.json.
 bench-serve:
-	$(GO) test -bench=BenchmarkServeEstimate -run=^$$ .
+	$(GO) test -bench=BenchmarkServeEstimate -benchmem -run=^$$ .
 
 # Zero-allocation inference fast path: ns/op and allocs/op of a single
 # steady-state Model.Predict (EXPERIMENTS.md).

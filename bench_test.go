@@ -79,11 +79,17 @@ func BenchmarkNNTrainStep(b *testing.B) {
 }
 
 // BenchmarkServeEstimate measures request throughput through the online
-// advisor's micro-batching inference scheduler: concurrent POST
-// /v1/estimate requests (4 pairs each) coalesce into micro-batches that
-// run through a Parallelism-sized worker pool. The serial setting is the
-// no-pool baseline; 4 and 8 show how the same coalesced batches scale
-// across inference workers.
+// advisor's estimate path: concurrent POST /v1/estimate requests (4
+// pairs each) through a Parallelism-sized worker pool.
+//
+// cold disables the fingerprint caches (serve.Config.CacheSize -1), so
+// every request pays JSON decode + SQL parse + feature extraction + the
+// W-D forward — the pre-cache baseline. warm runs the default cache
+// primed with one request, so iterations exercise the fingerprint-keyed
+// hit path (pooled body read, zero-copy decode, cache lookups, encode).
+// Both modes report req/s, pairs/s, and allocs/op; BENCH_6.json records
+// them, and CI's bench smoke fails on warm-path alloc regression via
+// TestEstimateWarmAlloc.
 func BenchmarkServeEstimate(b *testing.B) {
 	w := workload.WK(workload.WKParams{
 		Name:            "bench",
@@ -102,63 +108,82 @@ func BenchmarkServeEstimate(b *testing.B) {
 	cfg.WDTrain.Epochs = 2
 	cfg.Seed = 7
 
-	for _, par := range []int{1, 4, 8} {
-		b.Run("parallelism"+itoa(par), func(b *testing.B) {
-			srv, err := serve.New(w, cfg, serve.Config{
-				Parallelism: par,
-				MaxBatch:    64,
-				BatchWindow: 200 * time.Microsecond,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer func() {
-				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-				defer cancel()
-				if err := srv.Close(ctx); err != nil {
+	modes := []struct {
+		name      string
+		cacheSize int
+	}{
+		{"cold", -1}, // caching disabled: the full per-request path
+		{"warm", 0},  // default cache, primed before the timer starts
+	}
+	for _, mode := range modes {
+		for _, par := range []int{1, 4, 8} {
+			b.Run(mode.name+"/parallelism"+itoa(par), func(b *testing.B) {
+				srv, err := serve.New(w, cfg, serve.Config{
+					Parallelism: par,
+					MaxBatch:    64,
+					BatchWindow: 200 * time.Microsecond,
+					CacheSize:   mode.cacheSize,
+				})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}()
-			handler := srv.Handler()
+				defer func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					if err := srv.Close(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}()
+				handler := srv.Handler()
 
-			// Pair every benchmark query with a bootstrap view's subquery.
-			rec := httptest.NewRecorder()
-			handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/views", nil))
-			var vs struct {
-				Views []struct {
-					SQL string `json:"sql"`
-				} `json:"views"`
-			}
-			if err := json.Unmarshal(rec.Body.Bytes(), &vs); err != nil || len(vs.Views) == 0 {
-				b.Fatalf("bootstrap views: %v (%d views)", err, len(vs.Views))
-			}
-			type pair struct {
-				Query string `json:"query"`
-				View  string `json:"view"`
-			}
-			pairs := make([]pair, 4)
-			for i := range pairs {
-				pairs[i] = pair{Query: w.Queries[i].SQL, View: vs.Views[i%len(vs.Views)].SQL}
-			}
-			body, err := json.Marshal(map[string][]pair{"pairs": pairs})
-			if err != nil {
-				b.Fatal(err)
-			}
+				// Pair every benchmark query with a bootstrap view's subquery.
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/views", nil))
+				var vs struct {
+					Views []struct {
+						SQL string `json:"sql"`
+					} `json:"views"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &vs); err != nil || len(vs.Views) == 0 {
+					b.Fatalf("bootstrap views: %v (%d views)", err, len(vs.Views))
+				}
+				type pair struct {
+					Query string `json:"query"`
+					View  string `json:"view"`
+				}
+				pairs := make([]pair, 4)
+				for i := range pairs {
+					pairs[i] = pair{Query: w.Queries[i].SQL, View: vs.Views[i%len(vs.Views)].SQL}
+				}
+				body, err := json.Marshal(map[string][]pair{"pairs": pairs})
+				if err != nil {
+					b.Fatal(err)
+				}
 
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				for pb.Next() {
+				post := func() int {
 					req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(body))
 					rec := httptest.NewRecorder()
 					handler.ServeHTTP(rec, req)
 					if rec.Code != http.StatusOK {
 						b.Fatalf("estimate status %d: %s", rec.Code, rec.Body.String())
 					}
+					return rec.Code
 				}
+				if mode.cacheSize >= 0 {
+					post() // prime the estimate cache
+				}
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						post()
+					}
+				})
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+				b.ReportMetric(4*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
 			})
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
-			b.ReportMetric(4*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
-		})
+		}
 	}
 }
 

@@ -12,6 +12,7 @@
 //	            [-selector rlview|bigsub|iterview|topkfreq|topkover|topkben|topknorm]
 //	            [-seed N] [-parallelism N] [-window N]
 //	            [-advise-interval DUR] [-utility-tolerance F]
+//	            [-cache-size N] [-cache-ttl DUR]
 //	            [-log-level debug|info|warn|error]
 //
 // The /metrics, /debug/vars and /debug/pprof endpoints are mounted on
@@ -50,6 +51,8 @@ func main() {
 	windowSize := flag.Int("window", 512, "rolling workload window capacity (queries)")
 	adviseEvery := flag.Duration("advise-interval", 0, "background re-advise period (0 disables the loop)")
 	utilityTol := flag.Float64("utility-tolerance", 0, "relative utility regression tolerated before a rotation rolls back")
+	cacheSize := flag.Int("cache-size", 0, "fingerprint-keyed estimate cache entries (0 = default 4096, negative disables)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "age bound on cached estimates (0 = version-invalidation only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
 	logLevel := flag.String("log-level", "info", "structured event level on stderr: debug, info, warn, error")
 	flag.Parse()
@@ -66,6 +69,8 @@ func main() {
 		windowSize:   *windowSize,
 		adviseEvery:  *adviseEvery,
 		utilityTol:   *utilityTol,
+		cacheSize:    *cacheSize,
+		cacheTTL:     *cacheTTL,
 		drainTimeout: *drainTimeout,
 		logLevel:     *logLevel,
 	}); err != nil {
@@ -86,6 +91,8 @@ type options struct {
 	windowSize   int
 	adviseEvery  time.Duration
 	utilityTol   float64
+	cacheSize    int
+	cacheTTL     time.Duration
 	drainTimeout time.Duration
 	logLevel     string
 }
@@ -118,6 +125,8 @@ func run(o options) error {
 		WindowSize:       o.windowSize,
 		AdviseInterval:   o.adviseEvery,
 		UtilityTolerance: o.utilityTol,
+		CacheSize:        o.cacheSize,
+		CacheTTL:         o.cacheTTL,
 	})
 	if err != nil {
 		return err

@@ -3,6 +3,8 @@ package featenc
 import (
 	"math"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"autoview/internal/catalog"
@@ -312,4 +314,42 @@ func TestVocabFromWordsRequiresUnk(t *testing.T) {
 		}
 	}()
 	NewVocabFromWords([]string{"a", "b"})
+}
+
+// TestExtractPreParity pins the precompute split: ExtractPre over
+// Precompute results must reproduce Extract bit for bit (the serving
+// cache substitutes one for the other on warm requests), Precompute must
+// yield sorted deduplicated tables, and reusing a PlanFeat across calls
+// must not mutate it.
+func TestExtractPreParity(t *testing.T) {
+	cat := testCatalog(t)
+	q, v := examplePlans(t, cat)
+	pq, pv := Precompute(q), Precompute(v)
+	if !sort.StringsAreSorted(pq.Tables) || !sort.StringsAreSorted(pv.Tables) {
+		t.Fatalf("Precompute tables not sorted: %v / %v", pq.Tables, pv.Tables)
+	}
+	for _, pf := range []*PlanFeat{pq, pv} {
+		for i := 1; i < len(pf.Tables); i++ {
+			if pf.Tables[i] == pf.Tables[i-1] {
+				t.Fatalf("duplicate table %q survived Precompute", pf.Tables[i])
+			}
+		}
+	}
+	cold := Extract(q, v, cat)
+	tablesBefore := append([]string(nil), pq.Tables...)
+	for round := 0; round < 3; round++ {
+		warm := ExtractPre(pq, pv, cat)
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("round %d: ExtractPre diverges from Extract:\ncold %+v\nwarm %+v", round, cold, warm)
+		}
+	}
+	if !reflect.DeepEqual(tablesBefore, pq.Tables) {
+		t.Fatalf("ExtractPre mutated PlanFeat tables: %v -> %v", tablesBefore, pq.Tables)
+	}
+	// Asymmetric pairing: the q/v halves must not be interchangeable by
+	// accident (Count and plan-length features are signed).
+	flipped := ExtractPre(pv, pq, cat)
+	if reflect.DeepEqual(cold.Numeric, flipped.Numeric) {
+		t.Fatal("flipped pairing produced identical numeric features")
+	}
 }

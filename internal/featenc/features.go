@@ -30,30 +30,77 @@ func toks(seqs []plan.OpSeq) [][]plan.Tok {
 	return out
 }
 
+// PlanFeat is the plan-local half of feature extraction: everything
+// Extract derives from one plan alone, independent of what it is paired
+// with. Serving precomputes one PlanFeat per cached plan (and per
+// advertised view at rotation time) so a warm request skips plan
+// serialization and table-name sorting entirely. A PlanFeat is immutable
+// after Precompute; ExtractPre shares its Ser slices into the returned
+// Features, so callers must treat Features plans as read-only (the
+// encoders do).
+type PlanFeat struct {
+	Ser    [][]plan.Tok
+	Tables []string // sorted, deduplicated
+	Count  int
+}
+
+// Precompute derives the plan-local features of one plan.
+func Precompute(n *plan.Node) *PlanFeat {
+	tables := n.Tables()
+	sort.Strings(tables)
+	dedup := tables[:0]
+	for i, t := range tables {
+		if i == 0 || t != tables[i-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	return &PlanFeat{
+		Ser:    toks(plan.Serialize(n)),
+		Tables: dedup,
+		Count:  n.Count(),
+	}
+}
+
 // Extract gathers features for estimating A(q|v). Table statistics are
 // read from the catalog (the paper's metadata database); log scaling keeps
 // the magnitudes trainable before normalization.
 func Extract(q, v *plan.Node, cat *catalog.Catalog) Features {
+	return ExtractPre(Precompute(q), Precompute(v), cat)
+}
+
+// ExtractPre is Extract over precomputed plan-local features, the form
+// used by the serving hot path. It never mutates q or v.
+func ExtractPre(q, v *PlanFeat, cat *catalog.Catalog) Features {
 	f := Features{
-		QueryPlan: toks(plan.Serialize(q)),
-		ViewPlan:  toks(plan.Serialize(v)),
+		QueryPlan: q.Ser,
+		ViewPlan:  v.Ser,
 	}
-	tables := map[string]bool{}
-	for _, t := range q.Tables() {
-		tables[t] = true
-	}
-	for _, t := range v.Tables() {
-		tables[t] = true
-	}
-	// Iterate table names in sorted order: the schema-keyword sequence
-	// and the float sums below must not depend on map iteration order.
-	names := make([]string, 0, len(tables))
-	for name := range tables {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	// Merge the two sorted table lists: the schema-keyword sequence and
+	// the float sums below must visit names in sorted order (map
+	// iteration order must never leak into features), and the summation
+	// order here matches what sorting the union produces.
 	var numTables, numCols, totalRows, totalBytes, maxRows float64
-	for _, name := range names {
+	qi, vi := 0, 0
+	for qi < len(q.Tables) || vi < len(v.Tables) {
+		var name string
+		switch {
+		case vi >= len(v.Tables):
+			name = q.Tables[qi]
+			qi++
+		case qi >= len(q.Tables):
+			name = v.Tables[vi]
+			vi++
+		case q.Tables[qi] < v.Tables[vi]:
+			name = q.Tables[qi]
+			qi++
+		case q.Tables[qi] > v.Tables[vi]:
+			name = v.Tables[vi]
+			vi++
+		default:
+			name = q.Tables[qi]
+			qi++
+			vi++
+		}
 		t, ok := cat.Table(name)
 		if !ok {
 			continue
@@ -73,8 +120,8 @@ func Extract(q, v *plan.Node, cat *catalog.Catalog) Features {
 		math.Log1p(totalRows),
 		math.Log1p(totalBytes),
 		math.Log1p(maxRows),
-		float64(q.Count()),
-		float64(v.Count()),
+		float64(q.Count),
+		float64(v.Count),
 		float64(len(f.QueryPlan) - len(f.ViewPlan)),
 	}
 	return f

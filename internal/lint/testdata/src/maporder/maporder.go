@@ -53,6 +53,38 @@ func sortedKeys(m map[string]int) []string {
 	return keys
 }
 
+// Guard: the eviction-sweep idiom — collect doomed keys during the map
+// range, sort.Slice them, then delete in sorted order — keeps the delete
+// sequence deterministic (the serve cache sweep uses it) and must not be
+// flagged.
+func sweepDoomed(m map[string]int) {
+	var doomed []string
+	for k, v := range m {
+		if v == 0 {
+			doomed = append(doomed, k)
+		}
+	}
+	sort.Slice(doomed, func(a, b int) bool { return doomed[a] < doomed[b] })
+	for _, k := range doomed {
+		delete(m, k)
+	}
+}
+
+// The unsorted twin leaks map order into the delete sequence (and into
+// anything that later reads doomed) and is flagged.
+func sweepUnsorted(m map[string]int) []string {
+	var doomed []string
+	for k, v := range m {
+		if v == 0 {
+			doomed = append(doomed, k) // want `append to doomed`
+		}
+	}
+	for _, k := range doomed {
+		delete(m, k)
+	}
+	return doomed
+}
+
 // Guard: integer accumulation is exact, hence order-independent.
 func intAccum(m map[string]int) int {
 	n := 0

@@ -13,6 +13,7 @@ import (
 	"autoview/internal/featenc"
 	"autoview/internal/obs"
 	"autoview/internal/plan"
+	"autoview/internal/sqlparse"
 	"autoview/internal/widedeep"
 )
 
@@ -118,72 +119,127 @@ type estimateResponse struct {
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	var req estimateRequest
-	if status, code, err := s.decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, r, status, code, err.Error())
+	sc := getEstScratch()
+	if err := s.readBody(w, r, sc); err != nil {
+		status, code, msg := classifyBodyError(err)
+		s.writeError(w, r, status, code, msg)
+		putEstScratch(sc)
 		return
 	}
-	if len(req.Pairs) == 0 {
+	if err := decodeEstimateBody(sc.body, sc); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_json", err.Error())
+		putEstScratch(sc)
+		return
+	}
+	n := len(sc.pairs)
+	if n == 0 {
 		s.writeError(w, r, http.StatusBadRequest, "empty_request", "pairs must be non-empty")
+		putEstScratch(sc)
 		return
 	}
-	if len(req.Pairs) > s.cfg.MaxPairs {
+	if n > s.cfg.MaxPairs {
 		s.writeError(w, r, http.StatusBadRequest, "too_many_pairs",
-			fmt.Sprintf("%d pairs exceed the per-request limit %d", len(req.Pairs), s.cfg.MaxPairs))
+			fmt.Sprintf("%d pairs exceed the per-request limit %d", n, s.cfg.MaxPairs))
+		putEstScratch(sc)
 		return
 	}
 	mSnap := s.model.Load()
 	if mSnap == nil {
 		s.writeError(w, r, http.StatusServiceUnavailable, "no_model",
 			"no W-D model is loaded (was the server bootstrapped with EstimatorWideDeep?)")
+		putEstScratch(sc)
 		return
 	}
 
-	fs := make([]featenc.Features, len(req.Pairs))
-	for i, p := range req.Pairs {
-		qn, err := plan.Parse(p.Query, s.adv.Cat)
-		if err != nil {
-			s.writeError(w, r, http.StatusBadRequest, "bad_sql", fmt.Sprintf("pairs[%d].query: %v", i, err))
+	// Fingerprint every pair and consult the estimate cache. The epoch is
+	// captured before any estimate is computed, so results can only land
+	// in the cache under the world (view set + model) observed here.
+	sc.reset(n)
+	epoch := s.estCache.curEpoch()
+	fpDone := obs.StartSpan("serve.fingerprint")
+	for i := range sc.pairs {
+		qfp, qerr := sqlparse.FingerprintBytes(sc.pairs[i].query)
+		vfp, verr := sqlparse.FingerprintBytes(sc.pairs[i].view)
+		if qerr != nil || verr != nil {
+			// Unlexable SQL: leave the pair to the miss path, which
+			// reports the parse error with the canonical message.
+			sc.missIdx = append(sc.missIdx, i)
+			continue
+		}
+		sc.keys[i] = pairKey(qfp.Exact, vfp.Exact)
+		sc.qKeys[i] = planKey(qfp.Exact)
+		sc.vKeys[i] = planKey(vfp.Exact)
+		sc.keyOK[i] = true
+		if v, ok := s.estCache.get(sc.keys[i]); ok {
+			sc.out[i] = v
+			continue
+		}
+		sc.missIdx = append(sc.missIdx, i)
+	}
+	fpDone()
+
+	if len(sc.missIdx) > 0 {
+		for j, i := range sc.missIdx {
+			qe, err := s.resolvePlan(sc.pairs[i].query, sc.qKeys[i], sc.keyOK[i])
+			if err != nil {
+				s.writeError(w, r, http.StatusBadRequest, "bad_sql", fmt.Sprintf("pairs[%d].query: %v", i, err))
+				putEstScratch(sc)
+				return
+			}
+			ve, err := s.resolvePlan(sc.pairs[i].view, sc.vKeys[i], sc.keyOK[i])
+			if err != nil {
+				s.writeError(w, r, http.StatusBadRequest, "bad_sql", fmt.Sprintf("pairs[%d].view: %v", i, err))
+				putEstScratch(sc)
+				return
+			}
+			sc.fs[j] = featenc.ExtractPre(qe.pf, ve.pf, s.adv.Cat)
+		}
+
+		est := &estRequest{fs: sc.fs[:len(sc.missIdx)], out: sc.missOut[:len(sc.missIdx)], done: make(chan struct{})}
+		switch err := s.batcher.submit(est); {
+		case errors.Is(err, errQueueFull):
+			obsShed.Inc()
+			s.writeError(w, r, http.StatusTooManyRequests, "overloaded", "estimate queue is full, retry later")
+			putEstScratch(sc)
+			return
+		case errors.Is(err, errShuttingDown):
+			s.writeError(w, r, http.StatusServiceUnavailable, "shutting_down", "server is draining")
+			putEstScratch(sc)
 			return
 		}
-		vn, err := plan.Parse(p.View, s.adv.Cat)
-		if err != nil {
-			s.writeError(w, r, http.StatusBadRequest, "bad_sql", fmt.Sprintf("pairs[%d].view: %v", i, err))
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		select {
+		case <-est.done:
+			if est.err != nil {
+				s.writeError(w, r, http.StatusServiceUnavailable, "no_model", est.err.Error())
+				putEstScratch(sc)
+				return
+			}
+		case <-ctx.Done():
+			obsTimeouts.Inc()
+			s.writeError(w, r, http.StatusGatewayTimeout, "timeout",
+				fmt.Sprintf("estimate not ready within %v", s.cfg.RequestTimeout))
+			// The batcher may still write into missOut: abandon the
+			// scratch rather than recycle a buffer under a live writer.
 			return
 		}
-		fs[i] = featenc.Extract(qn, vn, s.adv.Cat)
+		for j, i := range sc.missIdx {
+			sc.out[i] = sc.missOut[j]
+			if sc.keyOK[i] {
+				s.estCache.put(sc.keys[i], sc.out[i], epoch)
+			}
+		}
 	}
 
-	est := &estRequest{fs: fs, out: make([]float64, len(fs)), done: make(chan struct{})}
-	switch err := s.batcher.submit(est); {
-	case errors.Is(err, errQueueFull):
-		obsShed.Inc()
-		s.writeError(w, r, http.StatusTooManyRequests, "overloaded", "estimate queue is full, retry later")
-		return
-	case errors.Is(err, errShuttingDown):
-		s.writeError(w, r, http.StatusServiceUnavailable, "shutting_down", "server is draining")
-		return
-	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-	select {
-	case <-est.done:
-		if est.err != nil {
-			s.writeError(w, r, http.StatusServiceUnavailable, "no_model", est.err.Error())
-			return
-		}
-		obsPairs.Add(int64(len(fs)))
-		s.writeJSON(w, http.StatusOK, estimateResponse{
-			Estimates:    est.out,
-			Count:        len(est.out),
-			ModelVersion: mSnap.version,
-		})
-	case <-ctx.Done():
-		obsTimeouts.Inc()
-		s.writeError(w, r, http.StatusGatewayTimeout, "timeout",
-			fmt.Sprintf("estimate not ready within %v", s.cfg.RequestTimeout))
-	}
+	obsPairs.Add(int64(n))
+	s.writeJSON(w, http.StatusOK, estimateResponse{
+		Estimates:    sc.out,
+		Count:        n,
+		ModelVersion: mSnap.version,
+	})
+	putEstScratch(sc)
 }
 
 // --- POST /v1/queries --------------------------------------------------

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autoview/internal/catalog"
+	"autoview/internal/plan"
+	"autoview/internal/sqlparse"
+	"autoview/internal/workload"
+)
+
+// postRaw sends one prebuilt body and returns the status plus the raw
+// response bytes (the property under test is byte identity, so no
+// decoding happens here).
+func postRaw(t testing.TB, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, raw
+}
+
+// bumpLiterals rewrites every literal in sql (numbers get a digit
+// appended, strings a suffix) so the variant shares the query's template
+// fingerprint but not its exact fingerprint. Returns "" when sql has no
+// literals or the variant no longer parses.
+func bumpLiterals(t *testing.T, sql, suffix string, cat *catalog.Catalog) string {
+	t.Helper()
+	toks, err := sqlparse.Lex(sql)
+	if err != nil {
+		t.Fatalf("lex %q: %v", sql, err)
+	}
+	var b strings.Builder
+	last := 0
+	changed := false
+	for _, tok := range toks {
+		switch tok.Kind {
+		case sqlparse.TokenNumber:
+			end := tok.Pos + len(tok.Text)
+			b.WriteString(sql[last:tok.Pos])
+			b.WriteString(" " + tok.Text + suffixDigits(suffix) + " ")
+			last = end
+			changed = true
+		case sqlparse.TokenString:
+			// Rescan for the closing quote: tok.Text is unescaped, so
+			// its length may not match the source span.
+			end := tok.Pos + 1
+			for sql[end] != '\'' || (end+1 < len(sql) && sql[end+1] == '\'') {
+				if sql[end] == '\'' {
+					end++ // first half of an escaped ''
+				}
+				end++
+			}
+			end++
+			b.WriteString(sql[last:tok.Pos])
+			b.WriteString(" '" + strings.ReplaceAll(tok.Text, "'", "''") + suffix + "' ")
+			last = end
+			changed = true
+		}
+	}
+	if !changed {
+		return ""
+	}
+	b.WriteString(sql[last:])
+	variant := b.String()
+	if _, err := plan.Parse(variant, cat); err != nil {
+		return ""
+	}
+	return variant
+}
+
+func suffixDigits(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			b.WriteByte(s[i])
+		}
+	}
+	if b.Len() == 0 {
+		return "9"
+	}
+	return b.String()
+}
+
+// propertyBodies builds the seeded request corpus: every workload query
+// plus literal-bumped variants (~100+ distinct queries), paired with the
+// advertised views and chunked into estimate bodies.
+func propertyBodies(t *testing.T, w *workload.Workload, vs ViewSet) [][]byte {
+	t.Helper()
+	if len(vs.Views) == 0 {
+		t.Fatal("no bootstrap views to pair with")
+	}
+	var queries []string
+	for _, q := range w.Queries {
+		queries = append(queries, q.SQL)
+		if v := bumpLiterals(t, q.SQL, "7", w.Cat); v != "" {
+			queries = append(queries, v)
+		}
+	}
+	if len(queries) < 100 {
+		t.Fatalf("property corpus too small: %d queries, want >= 100", len(queries))
+	}
+	var bodies [][]byte
+	const perBody = 8
+	for at := 0; at < len(queries); at += perBody {
+		endAt := at + perBody
+		if endAt > len(queries) {
+			endAt = len(queries)
+		}
+		var pairs []estimatePair
+		for i, q := range queries[at:endAt] {
+			pairs = append(pairs, estimatePair{Query: q, View: vs.Views[(at+i)%len(vs.Views)].SQL})
+		}
+		raw, err := json.Marshal(estimateRequest{Pairs: pairs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, raw)
+	}
+	return bodies
+}
+
+// expectIdentical posts every body to the cold (cache-disabled) server
+// and twice to the cached server — once populating the cache, once all
+// warm — and requires all three responses byte-identical.
+func expectIdentical(t *testing.T, coldURL, cachedURL string, bodies [][]byte, phase string) [][]byte {
+	t.Helper()
+	want := make([][]byte, len(bodies))
+	for i, body := range bodies {
+		status, cold := postRaw(t, coldURL+"/v1/estimate", body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: cold status %d: %s", phase, status, cold)
+		}
+		for _, pass := range []string{"populate", "warm"} {
+			status, got := postRaw(t, cachedURL+"/v1/estimate", body)
+			if status != http.StatusOK {
+				t.Fatalf("%s: cached(%s) status %d: %s", phase, pass, status, got)
+			}
+			if !bytes.Equal(cold, got) {
+				t.Fatalf("%s: cached(%s) response diverges from cold:\ncold:   %s\ncached: %s", phase, pass, cold, got)
+			}
+		}
+		want[i] = cold
+	}
+	return want
+}
+
+// TestEstimateCacheByteIdentity is the cache-correctness property
+// harness: across ~100 seeded queries (workload queries plus
+// literal-bumped template variants), a cache-disabled server and a
+// cached server — bootstrapped identically — must return byte-identical
+// /v1/estimate responses on cold, populating, and fully warm passes; the
+// identity must hold at every client parallelism level and across
+// view-set rotation and model hot-reload boundaries, with stale entries
+// never surviving a version bump. Run with -race in CI.
+func TestEstimateCacheByteIdentity(t *testing.T) {
+	w := serveWK()
+	baseCfg := Config{Parallelism: 4, MaxBatch: 16}
+	coldCfg := baseCfg
+	coldCfg.CacheSize = -1 // disabled: every request takes the full path
+	_, coldTS := newTestServer(t, coldCfg)
+	cached, cachedTS := newTestServer(t, baseCfg)
+
+	// Identical bootstrap is the precondition for comparing the two
+	// servers at all.
+	var vsCold, vsCached ViewSet
+	getJSON(t, coldTS.URL+"/v1/views", &vsCold)
+	getJSON(t, cachedTS.URL+"/v1/views", &vsCached)
+	vsCold.CreatedAt, vsCached.CreatedAt = time.Time{}, time.Time{} // wall-clock stamps are the one legitimate difference
+	if !reflect.DeepEqual(vsCold, vsCached) {
+		t.Fatalf("bootstrap view sets diverge:\ncold:   %+v\ncached: %+v", vsCold, vsCached)
+	}
+
+	bodies := propertyBodies(t, w, vsCached)
+
+	// Phase 1: cold vs populate vs warm.
+	want := expectIdentical(t, coldTS.URL, cachedTS.URL, bodies, "bootstrap")
+	if cached.estCache.len() == 0 {
+		t.Fatal("estimate cache never populated")
+	}
+	if cached.planCache.len() == 0 {
+		t.Fatal("plan cache never populated")
+	}
+
+	// Phase 2: warm reads under client concurrency (the server batches
+	// across goroutines; responses must stay byte-identical). Run at
+	// several parallelism levels; -race patrols the cache internals.
+	for _, clients := range []int{1, 4, 8} {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients*len(bodies))
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; i < len(bodies); i += clients {
+					status, got := postRaw(t, cachedTS.URL+"/v1/estimate", bodies[i])
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("clients=%d body %d: status %d", clients, i, status)
+						continue
+					}
+					if !bytes.Equal(want[i], got) {
+						errs <- fmt.Errorf("clients=%d body %d: warm response diverged", clients, i)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+
+	// Phase 3: view-set rotation. Both servers re-advise over identical
+	// windows (nothing was ingested), so they stay comparable; the
+	// cached server's estimate cache must come out empty — the epoch
+	// bump plus sweep may leave nothing from the previous generation.
+	for _, u := range []string{coldTS.URL, cachedTS.URL} {
+		resp, body := postJSON(t, u+"/v1/advise", adviseRequest{Force: true})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("advise on %s: status %d: %s", u, resp.StatusCode, body)
+		}
+	}
+	if n := cached.estCache.len(); n != 0 {
+		t.Fatalf("%d stale estimate-cache entries survived the rotation sweep", n)
+	}
+	want = expectIdentical(t, coldTS.URL, cachedTS.URL, bodies, "post-rotation")
+
+	// Phase 4: model hot-reload with a changed cost scale. Halving the
+	// scale doubles every estimate, so any stale entry surviving the
+	// bump would be caught by the cold comparison below — and the
+	// responses must visibly change.
+	cur := cached.model.Load()
+	path := t.TempDir() + "/wd.ckpt"
+	if err := saveModel(cur.m, path); err != nil {
+		t.Fatalf("save checkpoint: %v", err)
+	}
+	for _, u := range []string{coldTS.URL, cachedTS.URL} {
+		resp, body := postJSON(t, u+"/v1/admin/model", reloadRequest{Path: path, Scale: cur.scale * 2})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload on %s: status %d: %s", u, resp.StatusCode, body)
+		}
+	}
+	postReload := expectIdentical(t, coldTS.URL, cachedTS.URL, bodies, "post-reload")
+	changed := false
+	for i := range postReload {
+		if !bytes.Equal(want[i], postReload[i]) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("scale-doubling reload left every response unchanged: stale estimates survived the version bump")
+	}
+}
+
+// TestEstimateCacheServerParallelismLevels pins byte identity between a
+// serial (Parallelism 1) cached server and the parallel cold baseline
+// over a corpus subset: the cache must not introduce any dependence on
+// the inference pool size.
+func TestEstimateCacheServerParallelismLevels(t *testing.T) {
+	w := serveWK()
+	coldCfg := Config{Parallelism: 4, CacheSize: -1}
+	_, coldTS := newTestServer(t, coldCfg)
+	_, serialTS := newTestServer(t, Config{Parallelism: 1})
+
+	var vs ViewSet
+	getJSON(t, serialTS.URL+"/v1/views", &vs)
+	bodies := propertyBodies(t, w, vs)
+	if len(bodies) > 4 {
+		bodies = bodies[:4] // a subset: the full sweep runs in TestEstimateCacheByteIdentity
+	}
+	expectIdentical(t, coldTS.URL, serialTS.URL, bodies, "parallelism-1")
+}

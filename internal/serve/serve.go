@@ -96,6 +96,14 @@ type Config struct {
 	// is below (1-UtilityTolerance) times the active set's. Default 0
 	// (any regression rolls back).
 	UtilityTolerance float64
+	// CacheSize bounds the fingerprint-keyed estimate cache (the plan
+	// cache shares the bound). 0 selects the default 4096; negative
+	// disables caching entirely.
+	CacheSize int
+	// CacheTTL expires cached entries by age on top of the LRU bound and
+	// epoch invalidation. 0 (the default) means entries never expire by
+	// age — rotation and hot-reload epochs already bound staleness.
+	CacheTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UtilityTolerance < 0 {
 		c.UtilityTolerance = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
 	}
 	return c
 }
@@ -163,6 +174,14 @@ type Server struct {
 	batcher *batcher
 	ingest  chan ingestMsg
 
+	// estCache maps (query, view) exact-fingerprint pairs to final cost
+	// estimates, epoch-invalidated on rotation and hot-reload; planCache
+	// maps one exact fingerprint to its parsed plan + precomputed
+	// features (epoch-free: plans depend only on SQL text and the
+	// immutable catalog). Both are nil (disabled) when CacheSize < 0.
+	estCache  *cache[float64]
+	planCache *cache[*planEntry]
+
 	// adviseMu serializes re-advise cycles (the advisor mutates its
 	// store and metadata DB); TryLock turns concurrent triggers into 409.
 	adviseMu sync.Mutex
@@ -191,6 +210,10 @@ func New(w *workload.Workload, coreCfg core.Config, cfg Config) (*Server, error)
 		stopBg:  make(chan struct{}),
 		started: time.Now(),
 	}
+	s.estCache = newCache[float64](cfg.CacheSize, cfg.CacheTTL,
+		cacheMetrics{hit: obsCacheHit, miss: obsCacheMiss, evict: obsCacheEvict, size: obsCacheSize})
+	s.planCache = newCache[*planEntry](cfg.CacheSize, cfg.CacheTTL,
+		cacheMetrics{hit: obsPlanCacheHit, miss: obsPlanCacheMiss, evict: obsPlanCacheEvict, size: obsPlanCacheSize})
 	s.window.Append(w.Plans()...)
 	s.batcher = newBatcher(cfg, func() (*widedeep.Model, float64) {
 		m := s.model.Load()

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"autoview/internal/core"
+	"autoview/internal/featenc"
 	"autoview/internal/obs"
 	"autoview/internal/plan"
+	"autoview/internal/sqlparse"
 	"autoview/internal/widedeep"
 )
 
@@ -73,6 +75,14 @@ func (s *Server) advise(ctx context.Context, trigger string, force bool) (*Advis
 	}
 	defer s.adviseMu.Unlock()
 	defer obs.StartSpan("serve.advise")()
+	// Every cycle invalidates the estimate cache on the way out, after
+	// any model swap and view-set store have been published: stale
+	// entries can then only exist under an already-dead epoch. The sweep
+	// releases the invalidated generation's memory promptly.
+	defer func() {
+		s.estCache.bumpEpoch()
+		s.estCache.sweep()
+	}()
 
 	if trigger != "bootstrap" { // the ingester starts after bootstrap
 		if err := s.ingestBarrier(ctx); err != nil {
@@ -123,6 +133,7 @@ func (s *Server) advise(ctx context.Context, trigger string, force bool) (*Advis
 	}
 
 	s.views.Store(next)
+	s.refreshViewPlans(next)
 	obsCycles.Inc()
 	obsSwaps.Inc()
 	obsViewsVer.Set(float64(next.Version))
@@ -163,8 +174,38 @@ func (s *Server) swapModel(m2 *widedeep.Model, scale float64) {
 		version = cur.version + 1
 	}
 	s.model.Store(&model{m: m2, scale: scale, version: version})
+	// Invalidate cached estimates only after the new model is visible:
+	// a concurrent put that captured the old epoch lands dead, and a
+	// fresh request after the bump recomputes against the new weights.
+	s.estCache.bumpEpoch()
+	s.estCache.sweep()
 	obsModelVer.Set(float64(version))
 	obs.Info("serve.model", "event", "swap", "version", version, "scale", scale)
+}
+
+// refreshViewPlans precomputes the parsed plan + plan-local features of
+// every advertised view at rotation time, keyed by the fingerprint of
+// exactly the SQL clients read from /v1/views. The view half of a warm
+// estimate then skips parsing and serialization entirely. The SQL is
+// re-parsed (rather than reusing the candidate's plan) so cached
+// features are identical to what the cold path derives from client-sent
+// text.
+func (s *Server) refreshViewPlans(vs *ViewSet) {
+	if s.planCache == nil {
+		return
+	}
+	for i := range vs.Views {
+		sql := vs.Views[i].SQL
+		fp, err := sqlparse.Fingerprint(sql)
+		if err != nil {
+			continue
+		}
+		n, err := plan.Parse(sql, s.adv.Cat)
+		if err != nil {
+			continue
+		}
+		s.planCache.put(planKey(fp.Exact), &planEntry{node: n, pf: featenc.Precompute(n)}, s.planCache.curEpoch())
+	}
 }
 
 // buildViewSet assembles the fingerprint-sorted, immutable view set for

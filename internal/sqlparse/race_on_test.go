@@ -1,0 +1,8 @@
+//go:build race
+
+package sqlparse
+
+// raceEnabled gates the allocation-count assertions: under the race
+// detector sync.Pool deliberately drops a random fraction of Put items,
+// so pooled-scratch reuse (and therefore allocs/op) is nondeterministic.
+const raceEnabled = true
