@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-alloc fuzz-smoke bench bench-train bench-obs bench-serve bench-predict vet lint autoviewlint
+.PHONY: build test test-race test-alloc fuzz-smoke bench bench-train bench-obs bench-serve bench-cold bench-predict vet lint autoviewlint
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,12 @@ bench-obs:
 # (fingerprint cache primed) — see SERVING.md and BENCH_6.json.
 bench-serve:
 	$(GO) test -bench=BenchmarkServeEstimate -benchmem -run=^$$ .
+
+# Cold estimate path only (caches disabled): SQL parse + batched featenc
+# + the f32 inference kernels, every request. This is the number BENCH_7
+# records; run with -benchtime 3s for stable pairs/s (PERFORMANCE.md).
+bench-cold:
+	$(GO) test -bench='BenchmarkServeEstimate/cold' -benchmem -benchtime 3s -run=^$$ .
 
 # Zero-allocation inference fast path: ns/op and allocs/op of a single
 # steady-state Model.Predict (EXPERIMENTS.md).

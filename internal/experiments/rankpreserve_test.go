@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"autoview/internal/core"
+	"autoview/internal/engine"
+	"autoview/internal/featenc"
+	"autoview/internal/mvs"
+	"autoview/internal/nn"
+	"autoview/internal/rl"
+	"autoview/internal/selbase"
+)
+
+// Estimate-level f32/f64 parity budget in scaled (training) units,
+// matching widedeep's predict budget; the absolute term is divided by
+// the problem's cost scale when comparing dollar-valued estimates.
+const (
+	estRTol = 1e-5
+	estATol = 1e-6
+)
+
+// TestF32RankPreservation is the end-to-end guarantee behind the f32
+// serving kernels: on the seeded JOB workload with a trained W-D
+// estimator, switching inference from the f64 reference path to the f32
+// kernels must not flip any decision downstream of the estimates —
+//
+//   - every f32 estimate stays within the pinned tolerance of its f64
+//     twin,
+//   - TopkBen ranks the candidate views in the same order and selects
+//     the same best-k prefix,
+//   - IterView run on f32-estimated benefits reaches the same selection
+//     as on f64-estimated benefits under the same seed, and
+//   - RLView's DQN, scored through the f32 mirror, takes exactly the
+//     trajectory of the f64-scored agent (identical traces and final
+//     selection; Learn is always f64, so equal decisions mean equal
+//     runs).
+//
+// Tolerance rationale and the f64-train/f32-infer contract are in
+// PERFORMANCE.md.
+func TestF32RankPreservation(t *testing.T) {
+	w := Workloads(Quick)[0] // JOB
+	cfg := configFor("JOB", Quick)
+	cfg.Estimator = core.EstimatorWideDeep
+	cfg.WDTrain.Epochs = 6 // enough training to differentiate candidates
+	adv := core.NewAdvisor(w.Cat, engine.New(w.Populate()), cfg)
+	pre := adv.Preprocess(w.Plans())
+	p, err := adv.BuildProblem(w.Plans(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model == nil {
+		t.Fatal("BuildProblem trained no W-D model")
+	}
+	scale := p.CostScale()
+
+	assocIndex := make(map[int]int, len(p.AssocQueries))
+	for ai, qi := range p.AssocQueries {
+		assocIndex[qi] = ai
+	}
+
+	// Re-estimate every associated (query, candidate) pair on both
+	// kernel paths and build one benefit instance per path.
+	estimate := func(f64 bool) (*mvs.Instance, []float64) {
+		p.Model.UseF64Kernels(f64)
+		defer p.Model.UseF64Kernels(false)
+		ben := make([][]float64, len(p.AssocQueries))
+		for i := range ben {
+			ben[i] = make([]float64, len(p.Candidates))
+		}
+		var ests []float64
+		for j, c := range p.Candidates {
+			for _, qi := range c.Queries {
+				f := featenc.Extract(p.Queries[qi], c.View.Plan, adv.Cat)
+				est := p.Model.Predict(f) / scale
+				ests = append(ests, est)
+				ben[assocIndex[qi]][j] = p.QueryCost[qi] - est
+			}
+		}
+		return &mvs.Instance{Benefit: ben, Overhead: p.Instance.Overhead, Overlap: p.Instance.Overlap}, ests
+	}
+	in32, est32 := estimate(false)
+	in64, est64 := estimate(true)
+	if len(est32) == 0 {
+		t.Fatal("no associated pairs to estimate")
+	}
+
+	// (a) Per-estimate tolerance (atol widened into dollar units).
+	for i := range est32 {
+		if !nn.AlmostEqual(est32[i], est64[i], estRTol, estATol/scale) {
+			t.Fatalf("estimate %d: f32 %v vs f64 %v (diff %g) outside rtol %g",
+				i, est32[i], est64[i], est32[i]-est64[i], estRTol)
+		}
+	}
+
+	// (b) TopkBen: identical candidate ranking and best-k selection.
+	r32 := selbase.Ranking(in32, p.Frequencies(), selbase.TopkBen)
+	r64 := selbase.Ranking(in64, p.Frequencies(), selbase.TopkBen)
+	if !reflect.DeepEqual(r32, r64) {
+		t.Fatalf("TopkBen ranking flipped:\n f32 %v\n f64 %v", r32, r64)
+	}
+	k32, _ := selbase.BestK(in32, p.Frequencies(), selbase.TopkBen)
+	k64, _ := selbase.BestK(in64, p.Frequencies(), selbase.TopkBen)
+	if k32 != k64 {
+		t.Fatalf("TopkBen best k diverged: f32 %d, f64 %d", k32, k64)
+	}
+
+	// (c) IterView: same seed, same selection on both instances.
+	iv32 := mvs.IterView(in32, mvs.IterOptions{Iterations: 40, Rand: rand.New(rand.NewSource(9))})
+	iv64 := mvs.IterView(in64, mvs.IterOptions{Iterations: 40, Rand: rand.New(rand.NewSource(9))})
+	if !reflect.DeepEqual(iv32.Best.Z, iv64.Best.Z) {
+		t.Fatalf("IterView selection flipped:\n f32 %v\n f64 %v", iv32.Best.Z, iv64.Best.Z)
+	}
+
+	// (d) RLView on one instance, agent scored f32 vs f64: identical
+	// decisions mean bit-identical runs (Learn and rewards are f64 in
+	// both modes), so the whole trace must match exactly.
+	runRL := func(f64Scoring bool) *rl.Result {
+		agent := rl.NewAgent(cfg.RL.Agent, rand.New(rand.NewSource(21)))
+		agent.UseF64Scoring(f64Scoring)
+		opts := cfg.RL
+		opts.InitIterations = 30
+		opts.Epochs = 12
+		opts.Rand = rand.New(rand.NewSource(22))
+		opts.Pretrained = agent
+		return rl.RLView(in32, opts)
+	}
+	rv32 := runRL(false)
+	rv64 := runRL(true)
+	if !reflect.DeepEqual(rv32.Trace, rv64.Trace) {
+		t.Fatalf("RLView trace diverged between f32 and f64 scoring (len %d vs %d)", len(rv32.Trace), len(rv64.Trace))
+	}
+	if !reflect.DeepEqual(rv32.Best.Z, rv64.Best.Z) {
+		t.Fatalf("RLView selection flipped:\n f32 %v\n f64 %v", rv32.Best.Z, rv64.Best.Z)
+	}
+	if rv32.BestUtility != rv64.BestUtility { //lint:allow floateq identical trajectories must yield identical utility
+		t.Fatalf("RLView best utility diverged: %v vs %v", rv32.BestUtility, rv64.BestUtility)
+	}
+}

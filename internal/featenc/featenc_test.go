@@ -353,3 +353,54 @@ func TestExtractPreParity(t *testing.T) {
 		t.Fatal("flipped pairing produced identical numeric features")
 	}
 }
+
+// TestBatchExtractorMatchesExtractPre pins the batched extractor's
+// contract: bit-identical Features to the package-level ExtractPre for
+// every pairing, across Reset cycles (warm backing arrays and a warm
+// table memo must not change results), with earlier pairs' slices intact
+// while later pairs of the same batch are extracted, and with a missing
+// table degrading exactly like the plain function.
+func TestBatchExtractorMatchesExtractPre(t *testing.T) {
+	cat := testCatalog(t)
+	q, v := examplePlans(t, cat)
+	pq, pv := Precompute(q), Precompute(v)
+	ex := NewBatchExtractor(cat)
+
+	pairs := [][2]*PlanFeat{{pq, pv}, {pv, pq}, {pq, pq}, {pv, pv}}
+	for round := 0; round < 3; round++ {
+		ex.Reset(cat)
+		got := make([]Features, len(pairs))
+		want := make([]Features, len(pairs))
+		for i, p := range pairs {
+			got[i] = ex.ExtractPre(p[0], p[1])
+			want[i] = ExtractPre(p[0], p[1], cat)
+		}
+		// Compare only after the whole batch is out: this doubles as the
+		// aliasing check that pair i's carved-out slices survive the
+		// appends for pairs i+1..n.
+		for i := range pairs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("round %d pair %d: batch extractor diverges:\n got %+v\nwant %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+
+	// A plan referencing an unknown table must degrade identically.
+	ghost := &PlanFeat{Tables: []string{"no_such_table", "user_memo"}, Ser: pq.Ser, Count: pq.Count}
+	sort.Strings(ghost.Tables)
+	ex.Reset(cat)
+	if got, want := ex.ExtractPre(ghost, pv), ExtractPre(ghost, pv, cat); !reflect.DeepEqual(got, want) {
+		t.Fatalf("unknown-table pair diverges:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Rebinding to a different catalog must drop the memo: extract under
+	// a second catalog with different stats and check against the plain
+	// function bound to that catalog.
+	cat2 := testCatalog(t)
+	tb, _ := cat2.Table("user_memo")
+	tb.Stats.Rows *= 7
+	ex.Reset(cat2)
+	if got, want := ex.ExtractPre(pq, pv), ExtractPre(pq, pv, cat2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-rebind extraction diverges:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -21,6 +21,14 @@ import (
 // Comparisons against an exact sentinel (x == 0) are still flagged;
 // when the zero truly is exact — an uninitialized-field check, a
 // documented sentinel — suppress with //lint:allow floateq <reason>.
+//
+// Tolerance comparisons themselves live behind the vetted helpers
+// nn.AlmostEqual / nn.AlmostEqual32 / nn.ULPDiff32, whose internal
+// exact-equality short-circuits carry the audit-tagged form
+// //lint:allow floateq(audit) <reason>. New non-test code comparing
+// f32-kernel outputs should call those helpers rather than add inline
+// epsilon checks; the audit tag keeps the vetted entry points
+// greppable and distinct from ordinary sentinel waivers (LINTING.md).
 var FloatEq = &Analyzer{
 	Name: "floateq",
 	Doc:  "flag ==/!= between floating-point operands outside _test.go",

@@ -154,6 +154,14 @@ type allowKey struct {
 // allowedLines maps every line covered by a //lint:allow comment to the
 // analyzer names it waives. A trailing comment covers its own line; a
 // standalone comment line covers the line below it.
+//
+// A name may carry the audit tag — `//lint:allow floateq(audit) <why>` —
+// marking the suppression as part of a vetted comparison helper (the
+// single entry points ordinary code is supposed to call instead of
+// comparing floats inline; see LINTING.md "Audit notes"). The tag is
+// self-documenting for reviewers and greppable (`rg 'floateq\(audit\)'`
+// lists every audited comparison); an unknown tag waives nothing, so a
+// typo fails loud by letting the diagnostic through.
 func allowedLines(fset *token.FileSet, files []*ast.File) map[allowKey][]string {
 	allowed := make(map[allowKey][]string)
 	for _, f := range files {
@@ -174,6 +182,13 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[allowKey][]string 
 				// analyzer name count.
 				var waived []string
 				for _, n := range names {
+					if base, tag, tagged := strings.Cut(n, "("); tagged {
+						tag, closed := strings.CutSuffix(tag, ")")
+						if !closed || tag != "audit" {
+							break // unknown tag: waive nothing
+						}
+						n = base
+					}
 					if ByName(n) == nil && n != "all" {
 						break
 					}

@@ -260,3 +260,48 @@ func cmp(a, b float64) bool {
 		t.Fatalf("want exactly the unwaived line-12 diagnostic, got %v", diags)
 	}
 }
+
+// TestAuditTagSuppression checks the audit-tag arm of the //lint:allow
+// grammar: `floateq(audit)` waives exactly like the bare name (it marks
+// a vetted comparison helper; see LINTING.md "Audit notes"), while an
+// unknown or malformed tag waives nothing — a typo must fail loud by
+// letting the diagnostic through.
+func TestAuditTagSuppression(t *testing.T) {
+	src := `package p
+
+func cmp(a, b float64) bool {
+	if a == b { //lint:allow floateq(audit) vetted comparison entry point
+		return true
+	}
+	//lint:allow floateq(audit) line-above audit waiver
+	if a != b {
+		return false
+	}
+	if a == b { //lint:allow floateq(vetted) unknown tag must not waive
+		return true
+	}
+	//lint:allow floateq(audit unclosed tag must not waive
+	return a == b
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue), Defs: make(map[*ast.Ident]types.Object), Uses: make(map[*ast.Ident]types.Object)}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers([]*Analyzer{FloatEq}, []*Package{{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want the two unwaived diagnostics (bad tags), got %v", diags)
+	}
+	if diags[0].Pos.Line != 11 || diags[1].Pos.Line != 15 {
+		t.Fatalf("want diagnostics on lines 11 and 15, got %v", diags)
+	}
+}

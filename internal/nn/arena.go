@@ -12,15 +12,30 @@ package nn
 // request outsizes it), so the footprint converges to the high-water
 // mark of the shapes seen.
 //
+// Contracts (the serving fast path depends on all three):
+//
+//   - Aliasing: every Vec/Vec32/Vecs/Mat call returns a slice disjoint
+//     from every other slice handed out since the last Reset, so
+//     kernels may assume their operands never overlap unless the caller
+//     aliased them deliberately (in-place activations do).
+//   - Zero-alloc: once the arena has served a call sequence, replaying
+//     any sequence with the same-or-smaller shapes after Reset touches
+//     the Go allocator zero times (the allocation-regression tests pin
+//     this for the widedeep forward).
+//   - Determinism: memory handed out is always zeroed, so arena-backed
+//     computations cannot observe values from earlier predictions.
+//
 // An arena is NOT safe for concurrent use: give each worker its own
 // (widedeep keeps a pool of them, one handed to each ParallelFor
-// worker). Vectors returned by Vec/Vecs/Mat are valid until the next
-// Reset; callers must not retain them across predictions.
+// worker). Vectors returned by Vec/Vec32/Vecs/Mat are valid until the
+// next Reset; callers must not retain them across predictions.
 type Arena struct {
 	floats   [][]float64 // float64 chunks
 	fi, foff int         // current float chunk and offset
 	vecs     [][]Vec     // []Vec-header chunks (for matrices)
 	vi, voff int         // current header chunk and offset
+	f32s     [][]float32 // float32 chunks (f32 kernel mirrors)
+	gi, goff int         // current float32 chunk and offset
 }
 
 // minFloatChunk and minVecChunk size freshly grown chunks; requests
@@ -39,6 +54,7 @@ func NewArena() *Arena { return &Arena{} }
 func (a *Arena) Reset() {
 	a.fi, a.foff = 0, 0
 	a.vi, a.voff = 0, 0
+	a.gi, a.goff = 0, 0
 }
 
 // Vec returns a zeroed n-vector carved from the arena (same contract as
@@ -73,6 +89,39 @@ func (a *Arena) Vec(n int) Vec {
 		}
 		a.floats = append(a.floats, make([]float64, size))
 		a.foff = 0
+	}
+}
+
+// Vec32 returns a zeroed n-vector of float32 carved from the arena —
+// the scratch source of the f32 inference mirrors. Same contract as
+// Vec: zeroed, disjoint from all other live slices, valid until Reset.
+func (a *Arena) Vec32(n int) Vec32 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.gi < len(a.f32s) {
+			chunk := a.f32s[a.gi]
+			if a.goff+n <= len(chunk) {
+				v := chunk[a.goff : a.goff+n : a.goff+n]
+				a.goff += n
+				clear(v)
+				return v
+			}
+			if a.goff == 0 && n > len(chunk) {
+				a.f32s[a.gi] = make([]float32, n)
+				continue
+			}
+			a.gi++
+			a.goff = 0
+			continue
+		}
+		size := n
+		if size < minFloatChunk {
+			size = minFloatChunk
+		}
+		a.f32s = append(a.f32s, make([]float32, size))
+		a.goff = 0
 	}
 }
 
@@ -127,6 +176,9 @@ func (a *Arena) Bytes() int {
 	}
 	for _, c := range a.vecs {
 		total += 24 * len(c)
+	}
+	for _, c := range a.f32s {
+		total += 4 * len(c)
 	}
 	return total
 }

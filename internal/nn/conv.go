@@ -32,6 +32,34 @@ func NewBatchNorm(name string) *BatchNorm {
 // Params implements Module.
 func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
 
+// matStats accumulates the instance statistics of a T×D matrix in the
+// repo's canonical reduction order: a single accumulator walking rows
+// outer, columns inner (row-major), mean fully reduced before the
+// variance pass starts. Forward, InferInto and the float32 mirror
+// (BatchNorm32) all share this order — Forward/InferInto through this
+// helper, the f32 path by construction — so the f32-vs-f64 tolerance
+// bounds pinned in the tests do not depend on which path ran or on any
+// kernel block size. Documented in PERFORMANCE.md ("Accumulation
+// order").
+func matStats(m []Vec) (mu, variance float64) {
+	n := 0
+	for t := range m {
+		n += len(m[t])
+		for _, v := range m[t] {
+			mu += v
+		}
+	}
+	mu /= float64(n)
+	for t := range m {
+		for _, v := range m[t] {
+			dv := v - mu
+			variance += dv * dv
+		}
+	}
+	variance /= float64(n)
+	return mu, variance
+}
+
 // ShareWeights returns a replica sharing weight storage with private
 // gradient buffers.
 func (bn *BatchNorm) ShareWeights() *BatchNorm {
@@ -46,21 +74,7 @@ func (bn *BatchNorm) Forward(m []Vec) ([]Vec, MatBackward) {
 	}
 	D := len(m[0])
 	n := float64(T * D)
-	var mu float64
-	for t := range m {
-		for _, v := range m[t] {
-			mu += v
-		}
-	}
-	mu /= n
-	var variance float64
-	for t := range m {
-		for _, v := range m[t] {
-			dv := v - mu
-			variance += dv * dv
-		}
-	}
-	variance /= n
+	mu, variance := matStats(m)
 	std := math.Sqrt(variance + bnEps)
 	gamma, beta := bn.Gamma.Val[0], bn.Beta.Val[0]
 

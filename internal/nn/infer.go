@@ -113,22 +113,7 @@ func (bn *BatchNorm) InferInto(dst []Vec, m []Vec) {
 	if T == 0 {
 		return
 	}
-	n := float64(T * len(m[0]))
-	var mu float64
-	for t := range m {
-		for _, v := range m[t] {
-			mu += v
-		}
-	}
-	mu /= n
-	var variance float64
-	for t := range m {
-		for _, v := range m[t] {
-			dv := v - mu
-			variance += dv * dv
-		}
-	}
-	variance /= n
+	mu, variance := matStats(m)
 	std := math.Sqrt(variance + bnEps)
 	gamma, beta := bn.Gamma.Val[0], bn.Beta.Val[0]
 	for t := range m {

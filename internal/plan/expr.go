@@ -177,21 +177,44 @@ func AndPreds(ps []Pred) Pred {
 // flagged as strings (Tok.Str) so the encoder routes them through String
 // Encoding.
 func PredTokens(p Pred, schema []ColInfo) []Tok {
+	if p == nil {
+		return nil
+	}
+	return appendPredTokens(make([]Tok, 0, predTokenCount(p)), p, schema)
+}
+
+// predTokenCount sizes a predicate's token sequence without building it,
+// so PredTokens and serializeOp allocate exactly once.
+func predTokenCount(p Pred) int {
 	switch x := p.(type) {
 	case nil:
-		return nil
+		return 0
 	case *Cmp:
-		toks := []Tok{{Text: x.Op.PrefixName()}}
-		toks = append(toks, operandTok(x.L, schema))
-		toks = append(toks, operandTok(x.R, schema))
-		return toks
+		return 3
 	case *Bool:
-		toks := []Tok{{Text: x.Op.PrefixName()}}
-		toks = append(toks, PredTokens(x.L, schema)...)
-		toks = append(toks, PredTokens(x.R, schema)...)
-		return toks
+		return 1 + predTokenCount(x.L) + predTokenCount(x.R)
 	default:
-		return []Tok{{Text: fmt.Sprintf("<%T>", p)}}
+		return 1
+	}
+}
+
+// appendPredTokens appends p's prefix token sequence to dst, growing it
+// at most once when dst was sized with predTokenCount.
+func appendPredTokens(dst []Tok, p Pred, schema []ColInfo) []Tok {
+	switch x := p.(type) {
+	case nil:
+		return dst
+	case *Cmp:
+		return append(dst,
+			Tok{Text: x.Op.PrefixName()},
+			operandTok(x.L, schema),
+			operandTok(x.R, schema))
+	case *Bool:
+		dst = append(dst, Tok{Text: x.Op.PrefixName()})
+		dst = appendPredTokens(dst, x.L, schema)
+		return appendPredTokens(dst, x.R, schema)
+	default:
+		return append(dst, Tok{Text: fmt.Sprintf("<%T>", p)})
 	}
 }
 

@@ -34,7 +34,9 @@ func (s OpSeq) String() string {
 // pre-order list of operator attribute sequences, exactly the
 // representation fed to the plan sequence encoder.
 func Serialize(n *Node) []OpSeq {
-	var out []OpSeq
+	cnt := 0
+	n.Walk(func(*Node) { cnt++ })
+	out := make([]OpSeq, 0, cnt)
 	n.Walk(func(m *Node) {
 		out = append(out, serializeOp(m))
 	})
@@ -52,21 +54,28 @@ func SerializeTexts(n *Node) [][]string {
 	return out
 }
 
+// serializeOp builds one operator's attribute sequence. Each case sizes
+// its sequence exactly before appending, so serialization performs one
+// allocation per operator — it is the dominant allocator on the serving
+// cold path (see PERFORMANCE.md).
 func serializeOp(n *Node) OpSeq {
 	switch n.Op {
 	case OpScan:
 		return OpSeq{{Text: "Scan"}, {Text: n.Table}}
 	case OpFilter:
-		seq := OpSeq{{Text: "Filter"}}
-		return append(seq, PredTokens(n.Pred, n.Child(0).Schema)...)
+		seq := make(OpSeq, 0, 1+predTokenCount(n.Pred))
+		seq = append(seq, Tok{Text: "Filter"})
+		return appendPredTokens(seq, n.Pred, n.Child(0).Schema)
 	case OpProject:
-		seq := OpSeq{{Text: "Project"}}
+		seq := make(OpSeq, 0, 1+len(n.Proj))
+		seq = append(seq, Tok{Text: "Project"})
 		for _, pc := range n.Proj {
 			seq = append(seq, Tok{Text: pc.Name})
 		}
 		return seq
 	case OpJoin:
-		seq := OpSeq{{Text: "Join"}}
+		seq := make(OpSeq, 0, 2+3*len(n.JoinCond)+1)
+		seq = append(seq, Tok{Text: "Join"})
 		ls, rs := n.Child(0).Schema, n.Child(1).Schema
 		if len(n.JoinCond) > 1 {
 			seq = append(seq, Tok{Text: "AND"})
@@ -80,7 +89,8 @@ func serializeOp(n *Node) OpSeq {
 		seq = append(seq, Tok{Text: n.JoinType.String()})
 		return seq
 	case OpAggregate:
-		seq := OpSeq{{Text: "Aggregate"}}
+		seq := make(OpSeq, 0, 1+len(n.GroupBy)+2*len(n.Aggs))
+		seq = append(seq, Tok{Text: "Aggregate"})
 		cs := n.Child(0).Schema
 		for _, g := range n.GroupBy {
 			seq = append(seq, Tok{Text: cs[g].Name})

@@ -157,6 +157,11 @@ type Agent struct {
 	// warm arena across GC cycles, which empty the sync.Pool wholesale.
 	arenas     sync.Pool
 	spareArena atomic.Pointer[nn.Arena]
+
+	// m32 caches the f32 scoring mirror (infer32.go); refF64 forces the
+	// f64 reference path for scoring (UseF64Scoring).
+	m32    atomic.Pointer[mirrorState]
+	refF64 atomic.Bool
 }
 
 // NewAgent allocates an initialized agent.
@@ -207,26 +212,45 @@ func (a *Agent) putArena(ar *nn.Arena) {
 }
 
 // Q evaluates μ(e,a|θ) for one action's features through the
-// forward-only fast path (bit-identical to the training forward).
+// forward-only fast path: the f32 scoring mirror by default, the f64
+// reference forward (bit-identical to training) under UseF64Scoring or
+// when no mirror exists for the architecture.
 func (a *Agent) Q(feat []float64) float64 {
 	ar := a.getArena()
 	ar.Reset()
-	y := a.QNet.Infer(feat, ar)
+	var y float64
+	if m := a.scorer(); m != nil {
+		y = m.infer(f32Feat(ar, feat), ar)
+	} else {
+		y = a.QNet.Infer(feat, ar)
+	}
 	a.putArena(ar)
 	return y
 }
 
-// targetQ evaluates the bootstrap network (the frozen target when
-// configured, else the online network).
-func (a *Agent) targetQ(feat []float64) float64 {
-	if a.target != nil {
-		ar := a.getArena()
-		ar.Reset()
-		y := a.target.Infer(feat, ar)
-		a.putArena(ar)
-		return y
+// scorer returns the f32 mirror to score with, or nil when scoring must
+// run the f64 reference path.
+func (a *Agent) scorer() *qMirror {
+	if a.refF64.Load() {
+		return nil
 	}
-	return a.Q(feat)
+	return a.mirror()
+}
+
+// targetQ evaluates the Q-learning bootstrap: the frozen target when
+// configured, else the online network — always through the f64 forward,
+// never the scoring mirror, so Learn's updates are bit-exact however
+// actions were scored.
+func (a *Agent) targetQ(feat []float64) float64 {
+	net := a.target
+	if net == nil {
+		net = a.QNet
+	}
+	ar := a.getArena()
+	ar.Reset()
+	y := net.Infer(feat, ar)
+	a.putArena(ar)
+	return y
 }
 
 // QValues evaluates the Q-vector Q(e) = [μ(e,a_1), ..., μ(e,a_n)],
@@ -234,9 +258,14 @@ func (a *Agent) targetQ(feat []float64) float64 {
 func (a *Agent) QValues(feats [][]float64) []float64 {
 	out := make([]float64, len(feats))
 	ar := a.getArena()
+	m := a.scorer()
 	for j, f := range feats {
 		ar.Reset()
-		out[j] = a.QNet.Infer(f, ar)
+		if m != nil {
+			out[j] = m.infer(f32Feat(ar, f), ar)
+		} else {
+			out[j] = a.QNet.Infer(f, ar)
+		}
 	}
 	a.putArena(ar)
 	return out
@@ -247,9 +276,16 @@ func (a *Agent) QValues(feats [][]float64) []float64 {
 func (a *Agent) BestAction(feats [][]float64) int {
 	best, bestQ := 0, math.Inf(-1)
 	ar := a.getArena()
+	m := a.scorer()
 	for j, f := range feats {
 		ar.Reset()
-		if q := a.QNet.Infer(f, ar); q > bestQ {
+		var q float64
+		if m != nil {
+			q = m.infer(f32Feat(ar, f), ar)
+		} else {
+			q = a.QNet.Infer(f, ar)
+		}
+		if q > bestQ {
 			best, bestQ = j, q
 		}
 	}
@@ -297,6 +333,7 @@ func (a *Agent) Learn() float64 {
 	a.batchN = float64(n)
 	loss := a.trainer.Step(n)
 	a.opt.Step(a.QNet.Params())
+	a.InvalidateMirror() // weights moved; the scoring mirror is stale
 	a.learnCalls++
 	if a.target != nil && a.learnCalls%a.Cfg.TargetSync == 0 {
 		copyParams(a.target.Params(), a.QNet.Params())
@@ -346,6 +383,7 @@ func (a *Agent) Load(r io.Reader) error {
 	if a.target != nil {
 		copyParams(a.target.Params(), a.QNet.Params())
 	}
+	a.InvalidateMirror() // loaded weights obsolete any cached mirror
 	return nil
 }
 

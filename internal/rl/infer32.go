@@ -1,0 +1,87 @@
+package rl
+
+import (
+	"autoview/internal/nn"
+)
+
+// qMirror is the float32 inference mirror of the agent's Q-network,
+// materialized lazily from the trained f64 parameters and dropped
+// whenever they change (Learn, Load — see Agent.InvalidateMirror).
+// Action scoring (Q, QValues, BestAction) runs on it; everything the
+// Learn update touches — the training forward/backward AND the
+// Q-learning bootstrap target — stays on the f64 network, so replay
+// training remains bit-exact regardless of how actions were scored.
+type qMirror struct {
+	// Exactly one branch is populated, matching the QNetwork's concrete
+	// architecture.
+	mlp *nn.MLP32 // plain four-layer DQN
+
+	trunk      *nn.Linear32 // dueling: shared trunk ...
+	value, adv *nn.MLP32    // ... feeding the V and A heads
+}
+
+// newQMirror materializes the mirror for a known architecture and
+// returns nil for QNetwork implementations it has no kernels for (the
+// caller then serves f64 — correctness never depends on the mirror).
+func newQMirror(q QNetwork) *qMirror {
+	switch n := q.(type) {
+	case *mlpQ:
+		return &qMirror{mlp: nn.NewMLP32(n.net)}
+	case *DuelingQ:
+		return &qMirror{
+			trunk: nn.NewLinear32(n.Trunk),
+			value: nn.NewMLP32(n.Value),
+			adv:   nn.NewMLP32(n.Adv),
+		}
+	default:
+		return nil
+	}
+}
+
+// infer scores one action's f32 feature vector.
+func (m *qMirror) infer(x nn.Vec32, ar *nn.Arena) float64 {
+	if m.mlp != nil {
+		return float64(m.mlp.Infer(x, ar)[0])
+	}
+	h := m.trunk.Infer(x, ar)
+	nn.ReLU32(h)
+	v := m.value.Infer(h, ar)
+	a := m.adv.Infer(h, ar)
+	return float64(v[0] + a[0])
+}
+
+// mirrorState wraps the pointer so a failed build (unknown architecture)
+// is itself cached and does not retry on every call.
+type mirrorState struct{ m *qMirror }
+
+// mirror returns the current f32 mirror (nil when the architecture has
+// no kernels), building it on first use after an invalidation.
+// Concurrent builders race benignly: both materialize from the same
+// momentarily-immutable weights and the last store wins.
+func (a *Agent) mirror() *qMirror {
+	if st := a.m32.Load(); st != nil {
+		return st.m
+	}
+	st := &mirrorState{m: newQMirror(a.QNet)}
+	a.m32.Store(st)
+	return st.m
+}
+
+// InvalidateMirror drops the f32 mirror so the next scoring call
+// rebuilds it from the current f64 parameters. Learn and Load call it;
+// callers that mutate the network's Params() directly must call it
+// themselves before scoring.
+func (a *Agent) InvalidateMirror() { a.m32.Store(nil) }
+
+// UseF64Scoring switches Q/QValues/BestAction onto the float64
+// reference forward (true) or the float32 mirror (false, the default).
+// The escape hatch exists for numerics triage and the parity harness;
+// Learn is unaffected either way (always f64).
+func (a *Agent) UseF64Scoring(v bool) { a.refF64.Store(v) }
+
+// f32Feat converts one action's features into arena-backed f32 scratch.
+func f32Feat(ar *nn.Arena, feat []float64) nn.Vec32 {
+	x := ar.Vec32(len(feat))
+	nn.F32From(x, feat)
+	return x
+}

@@ -38,8 +38,21 @@ func TestQNetworkInferParity(t *testing.T) {
 	}
 }
 
+// f32 scoring parity budget against the f64 training forward; same
+// rationale and headroom as widedeep's predict budget (observed worst
+// case on these networks is ~1e-7 relative). Documented in
+// PERFORMANCE.md.
+const (
+	scoreRTol = 1e-5
+	scoreATol = 1e-6
+)
+
 // TestAgentScoringUsesParityPath cross-checks the agent's scoring
-// surface (Q, QValues, BestAction) against direct Forward evaluation.
+// surface (Q, QValues, BestAction) against direct Forward evaluation,
+// for both routing modes: the f64 reference path must be bit-identical
+// to Forward, the default f32 mirror path must agree within the pinned
+// tolerance while ranking actions identically — and targetQ (the Learn
+// bootstrap) must stay bit-exact f64 regardless of the scoring mode.
 func TestAgentScoringUsesParityPath(t *testing.T) {
 	for _, dueling := range []bool{false, true} {
 		ag := NewAgent(AgentConfig{Dueling: dueling, Seed: 5}, nil)
@@ -57,22 +70,52 @@ func TestAgentScoringUsesParityPath(t *testing.T) {
 				bestJ, bestQ = j, want[j]
 			}
 		}
+
+		// f64 reference path: bit-identical, kernel unchanged.
+		ag.UseF64Scoring(true)
 		for j := range feats {
-			if got := ag.Q(feats[j]); got != want[j] { //lint:allow floateq bit-identity is the property under test
-				t.Fatalf("dueling=%v: Q(%d) = %v, Forward = %v", dueling, j, got, want[j])
-			}
-			if got := ag.targetQ(feats[j]); got != want[j] { //lint:allow floateq bit-identity is the property under test
-				t.Fatalf("dueling=%v: targetQ(%d) = %v, Forward = %v", dueling, j, got, want[j])
+			if got := ag.Q(feats[j]); got != want[j] { //lint:allow floateq bit-identity of the f64 reference path is the property under test
+				t.Fatalf("dueling=%v: f64 Q(%d) = %v, Forward = %v", dueling, j, got, want[j])
 			}
 		}
 		qv := ag.QValues(feats)
 		for j := range want {
-			if qv[j] != want[j] { //lint:allow floateq bit-identity is the property under test
-				t.Fatalf("dueling=%v: QValues[%d] = %v, Forward = %v", dueling, j, qv[j], want[j])
+			if qv[j] != want[j] { //lint:allow floateq bit-identity of the f64 reference path is the property under test
+				t.Fatalf("dueling=%v: f64 QValues[%d] = %v, Forward = %v", dueling, j, qv[j], want[j])
 			}
 		}
 		if got := ag.BestAction(feats); got != bestJ {
-			t.Fatalf("dueling=%v: BestAction = %d, want %d (q=%v)", dueling, got, bestJ, bestQ)
+			t.Fatalf("dueling=%v: f64 BestAction = %d, want %d (q=%v)", dueling, got, bestJ, bestQ)
+		}
+
+		// f32 mirror path: pinned tolerance, identical ranking,
+		// deterministic across warm-arena replays.
+		ag.UseF64Scoring(false)
+		for j := range feats {
+			got := ag.Q(feats[j])
+			if !nn.AlmostEqual(got, want[j], scoreRTol, scoreATol) {
+				t.Fatalf("dueling=%v: f32 Q(%d) = %v, Forward = %v (diff %g) outside rtol %g / atol %g",
+					dueling, j, got, want[j], got-want[j], scoreRTol, scoreATol)
+			}
+			if again := ag.Q(feats[j]); again != got { //lint:allow floateq warm-arena determinism of the f32 path is the property under test
+				t.Fatalf("dueling=%v: warm-arena f32 Q(%d) drifted: %v != %v", dueling, j, again, got)
+			}
+		}
+		qv32 := ag.QValues(feats)
+		for j := range want {
+			if !nn.AlmostEqual(qv32[j], want[j], scoreRTol, scoreATol) {
+				t.Fatalf("dueling=%v: f32 QValues[%d] = %v, Forward = %v outside tolerance", dueling, j, qv32[j], want[j])
+			}
+		}
+		if got := ag.BestAction(feats); got != bestJ {
+			t.Fatalf("dueling=%v: f32 BestAction = %d, want %d — action ranking flipped", dueling, got, bestJ)
+		}
+
+		// The Learn bootstrap never routes through the mirror.
+		for j := range feats {
+			if got := ag.targetQ(feats[j]); got != want[j] { //lint:allow floateq bit-identity of the f64 bootstrap is the property under test
+				t.Fatalf("dueling=%v: targetQ(%d) = %v, Forward = %v", dueling, j, got, want[j])
+			}
 		}
 	}
 }

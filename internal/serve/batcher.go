@@ -50,6 +50,14 @@ type estRequest struct {
 // inference arenas, which persist across micro-batches — so after the
 // first few requests warm the pool, the per-pair serving cost performs
 // zero heap allocations (see TestBatcherSteadyStateAllocs).
+//
+// Idle bypass: the batch window exists to give concurrent requests a
+// chance to share a batch. When the dispatcher pulls a request and can
+// see nobody else is coming — empty queue and no submit in flight — it
+// runs the batch immediately instead of sleeping out the window, so a
+// lone request never pays window latency (or the timer wake-up that
+// follows it). Under load the queue is non-empty and coalescing behaves
+// exactly as before.
 type batcher struct {
 	parallelism int
 	maxBatch    int
@@ -63,6 +71,14 @@ type batcher struct {
 	submits sync.WaitGroup
 	closed  atomic.Bool
 	done    chan struct{}
+
+	// pending counts submits that entered submit but have not yet
+	// enqueued (or bailed): together with len(queue) it is the
+	// dispatcher's "is anyone else coming" signal for the idle bypass.
+	// The count is advisory — a race in either direction costs at most
+	// one wasted window wait or one missed coalescing opportunity, never
+	// correctness.
+	pending atomic.Int64
 }
 
 func newBatcher(cfg Config, model func() (*widedeep.Model, float64)) *batcher {
@@ -84,6 +100,8 @@ func newBatcher(cfg Config, model func() (*widedeep.Model, float64)) *batcher {
 func (b *batcher) submit(req *estRequest) error {
 	b.submits.Add(1)
 	defer b.submits.Done()
+	b.pending.Add(1)
+	defer b.pending.Add(-1)
 	if b.closed.Load() {
 		return errShuttingDown
 	}
@@ -97,7 +115,8 @@ func (b *batcher) submit(req *estRequest) error {
 }
 
 // dispatch is the scheduler loop: block for the first request, coalesce
-// follow-ups until the batch is full or the window expires, run, repeat.
+// follow-ups until the batch is full, the window expires, or the world
+// goes quiet (the idle bypass — see the type comment), run, repeat.
 // When the queue is closed it drains every remaining request before
 // exiting, so accepted work always completes.
 func (b *batcher) dispatch() {
@@ -109,9 +128,27 @@ func (b *batcher) dispatch() {
 		}
 		batch := []*estRequest{req}
 		total := len(req.fs)
-		timer := time.NewTimer(b.window)
+		var timer *time.Timer
 	collect:
 		for total < b.maxBatch {
+			// Drain whatever is already queued without arming the
+			// window; only sleep when someone may still be coming.
+			select {
+			case next, more := <-b.queue:
+				if !more {
+					break collect
+				}
+				batch = append(batch, next)
+				total += len(next.fs)
+				continue
+			default:
+			}
+			if b.pending.Load() == 0 {
+				break collect // idle: the window could only add latency
+			}
+			if timer == nil {
+				timer = time.NewTimer(b.window)
+			}
 			select {
 			case next, more := <-b.queue:
 				if !more {
@@ -123,7 +160,9 @@ func (b *batcher) dispatch() {
 				break collect
 			}
 		}
-		timer.Stop()
+		if timer != nil {
+			timer.Stop()
+		}
 		obsQueueDepth.Set(float64(len(b.queue)))
 		b.run(batch, total)
 	}

@@ -42,6 +42,14 @@ type estScratch struct {
 	missIdx []int      // indices into pairs that missed the estimate cache
 	missOut []float64  // batcher output for the miss subset
 	fs      []featenc.Features
+
+	// ex amortizes feature extraction on the miss path: per-table schema
+	// keywords and stats memoized across pairs and requests, per-pair
+	// slices carved from reused backing arrays. Reset per request; the
+	// Features in fs alias its buffers, which is safe because a pooled
+	// scratch is only recycled after its request (and so its micro-batch)
+	// completed.
+	ex *featenc.BatchExtractor
 }
 
 var estPool = sync.Pool{New: func() any { return new(estScratch) }}

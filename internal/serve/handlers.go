@@ -179,6 +179,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	fpDone()
 
 	if len(sc.missIdx) > 0 {
+		if sc.ex == nil {
+			sc.ex = featenc.NewBatchExtractor(s.adv.Cat)
+		} else {
+			sc.ex.Reset(s.adv.Cat)
+		}
 		for j, i := range sc.missIdx {
 			qe, err := s.resolvePlan(sc.pairs[i].query, sc.qKeys[i], sc.keyOK[i])
 			if err != nil {
@@ -192,7 +197,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 				putEstScratch(sc)
 				return
 			}
-			sc.fs[j] = featenc.ExtractPre(qe.pf, ve.pf, s.adv.Cat)
+			sc.fs[j] = sc.ex.ExtractPre(qe.pf, ve.pf)
 		}
 
 		est := &estRequest{fs: sc.fs[:len(sc.missIdx)], out: sc.missOut[:len(sc.missIdx)], done: make(chan struct{})}

@@ -68,7 +68,9 @@ func newLexer(src string) *lexer { return &lexer{src: src} }
 // Lex tokenizes the entire input. It is exported for tests and tooling.
 func Lex(src string) ([]Token, error) {
 	lx := newLexer(src)
-	var out []Token
+	// SQL averages one token per ~6 bytes; sizing for that turns the
+	// append growth sequence into a single allocation for typical texts.
+	out := make([]Token, 0, 8+len(src)/6)
 	for {
 		tok, err := lx.next()
 		if err != nil {

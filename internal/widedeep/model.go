@@ -90,6 +90,13 @@ type Model struct {
 	// Predict to rebuild its scratch from the heap.
 	arenas sync.Pool
 	spare  atomic.Pointer[nn.Arena]
+
+	// k32 caches the float32 kernel mirror of the trained weights
+	// (built lazily, dropped by InvalidateKernels whenever the f64
+	// parameters change); refF64 forces Predict onto the float64
+	// reference forward (UseF64Kernels).
+	k32    atomic.Pointer[kernels32]
+	refF64 atomic.Bool
 }
 
 // New builds an initialized model over the vocabulary.
@@ -239,9 +246,13 @@ func addVecs(a, b nn.Vec) nn.Vec {
 //
 // Predict runs the forward-only inference fast path: no backward
 // closures are built and every activation lives in a pooled nn.Arena,
-// so a steady-state call performs zero heap allocations while staying
-// bit-identical to the training forward (the parity tests enforce this).
-// Safe for concurrent use.
+// so a steady-state call performs zero heap allocations. By default it
+// runs the float32 kernel mirror (blocked kernels, folded embedding
+// tables — see internal/nn kernels32), which agrees with the float64
+// training forward within the pinned tolerance and never flips a view
+// ranking (the parity harness enforces both); UseF64Kernels(true)
+// switches to the bit-exact float64 reference forward. Safe for
+// concurrent use.
 func (m *Model) Predict(f featenc.Features) float64 {
 	defer obs.StartSpan("wd.infer")()
 	obsInferCount.Inc()
@@ -250,7 +261,12 @@ func (m *Model) Predict(f featenc.Features) float64 {
 	}
 	a := m.getArena()
 	a.Reset()
-	y := m.inferForward(f, a)
+	var y float64
+	if m.refF64.Load() {
+		y = m.inferForward(f, a)
+	} else {
+		y = m.kernels().inferForward(f, a)
+	}
 	m.putArena(a)
 	return y*m.yStd + m.yMean
 }
@@ -281,10 +297,18 @@ func (m *Model) PredictBatch(fs []featenc.Features, parallelism int) []float64 {
 	for w := range arenas {
 		arenas[w] = m.getArena()
 	}
+	var k *kernels32
+	if !m.refF64.Load() {
+		k = m.kernels() // resolve once; workers share the immutable mirror
+	}
 	nn.ParallelForWorker(len(fs), parallelism, func(w, i int) {
 		a := arenas[w]
 		a.Reset()
-		out[i] = m.inferForward(fs[i], a)*m.yStd + m.yMean
+		if k != nil {
+			out[i] = k.inferForward(fs[i], a)*m.yStd + m.yMean
+		} else {
+			out[i] = m.inferForward(fs[i], a)*m.yStd + m.yMean
+		}
 	})
 	for _, a := range arenas {
 		m.putArena(a)
@@ -334,6 +358,11 @@ func (m *Model) Fit(samples []Sample, cfg TrainConfig) ([]float64, error) {
 		return nil, fmt.Errorf("widedeep: no training samples")
 	}
 	defer obs.StartSpan("wd.train")()
+	// The f32 mirror is stale from the first optimizer step; drop it now
+	// (and again on exit) so concurrent readers rebuild rather than
+	// serve mid-training weights from before the fit.
+	m.InvalidateKernels()
+	defer m.InvalidateKernels()
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 

@@ -49,5 +49,6 @@ func (m *Model) Load(r io.Reader) error {
 		m.yStd = 1
 	}
 	m.Norm = snap.Norm
+	m.InvalidateKernels() // loaded weights obsolete any cached f32 mirror
 	return nil
 }
