@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-alloc fuzz-smoke bench bench-train bench-obs bench-serve bench-cold bench-predict vet lint autoviewlint
+.PHONY: build test test-race test-race-full test-alloc fuzz-smoke bench bench-train bench-obs bench-serve bench-cold bench-predict vet lint autoviewlint check-bce
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,14 @@ test:
 # all exercise their goroutines under -short.
 test-race:
 	$(GO) test -race -short ./...
+
+# Unabridged race pass: every test, no -short. The deterministic
+# single-goroutine experiment pipelines skip themselves under the race
+# build tag (they are 10-20x slower instrumented and spawn no
+# goroutines), so this stays within a CI budget while still covering
+# every concurrent path at full depth. Runs as its own CI job.
+test-race-full:
+	$(GO) test -race -count=1 -timeout 20m ./...
 
 # Allocation-regression gate: steady-state Predict must allocate zero,
 # the serve micro-batcher's per-pair cost must stay allocation-free, the
@@ -64,14 +72,27 @@ vet:
 	$(GO) vet ./...
 
 # Formatting (simplify mode) + vet + the repo's own analyzer suite
-# (LINTING.md); fails listing any file gofmt -s would rewrite.
-lint: autoviewlint
+# (LINTING.md) + the bounds-check-elimination gate over the f32 kernels;
+# fails listing any file gofmt -s would rewrite.
+lint: bin/autoviewlint check-bce
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
 		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(CURDIR)/bin/autoviewlint ./...
 
-# Build the determinism/observability analyzer suite (internal/lint)
-# as a go vet tool. Also runnable standalone: bin/autoviewlint ./...
-autoviewlint:
+# Bounds-check-elimination regression gate: internal/nn's float32
+# kernels must keep the per-function counts pinned in
+# internal/nn/bce_allowlist.txt (PERFORMANCE.md "BCE gate"). Refresh a
+# deliberate change with: go run ./cmd/bcecheck -update
+check-bce:
+	$(GO) run ./cmd/bcecheck
+
+LINT_SRC := $(wildcard internal/lint/*.go cmd/autoviewlint/*.go) go.mod
+
+# Build the determinism/resource-discipline analyzer suite
+# (internal/lint) as a go vet tool. Also runnable standalone:
+# bin/autoviewlint ./...  Rebuilds only when analyzer sources change.
+bin/autoviewlint: $(LINT_SRC)
 	$(GO) build -o bin/autoviewlint ./cmd/autoviewlint
+
+autoviewlint: bin/autoviewlint

@@ -1,7 +1,8 @@
-// Command autoviewlint runs the repo's determinism/observability lint
-// suite (internal/lint): randsource, maporder, spanend, floateq,
-// errdiscard. See LINTING.md for the analyzer catalog and the
-// //lint:allow suppression syntax.
+// Command autoviewlint runs the repo's determinism and
+// resource-discipline lint suite (internal/lint), eight analyzers:
+// randsource, maporder, spanend, floateq, errdiscard, arenaescape,
+// poolpair, atomicfield. See LINTING.md for the analyzer catalog and
+// the //lint:allow suppression syntax.
 //
 // Two modes share one binary:
 //
@@ -10,7 +11,12 @@
 //
 // The vet mode speaks the go command's vettool contract (-V=full
 // version probe, then one JSON .cfg per package unit), so runs are
-// cached per package like any other vet pass.
+// cached per package like any other vet pass. The dataflow analyzers
+// (arenaescape, poolpair, atomicfield) additionally export per-function
+// facts: in vet mode they travel between package units through the go
+// command's .vetx files (PackageVetx in, VetxOutput out), so a helper's
+// contract — "returns arena-backed memory", "hands out pooled values",
+// "this field is atomic" — is enforced at call sites in other packages.
 package main
 
 import (

@@ -80,6 +80,9 @@ func TestTab3Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tab3 trains eight estimators; skipped in -short")
 	}
+	if raceEnabled {
+		t.Skip("deterministic single-goroutine pipeline; too slow under -race")
+	}
 	r, err := Tab3(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +140,9 @@ func TestTab3Claims(t *testing.T) {
 }
 
 func TestFig9RiseAndFall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("deterministic single-goroutine pipeline; too slow under -race")
+	}
 	r, err := Fig9(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +174,9 @@ func TestFig9RiseAndFall(t *testing.T) {
 func TestTab4Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tab4 trains a DQN per dataset; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("deterministic single-goroutine pipeline; too slow under -race")
 	}
 	r, err := Tab4(Quick)
 	if err != nil {
@@ -214,6 +223,9 @@ func TestFig10StabilityClaim(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig10 runs RLView and IterView to convergence; skipped in -short")
 	}
+	if raceEnabled {
+		t.Skip("deterministic single-goroutine pipeline; too slow under -race")
+	}
 	r, err := Fig10(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -232,6 +244,9 @@ func TestFig10StabilityClaim(t *testing.T) {
 func TestTab5Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tab5 runs the full pipeline 12 times; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("deterministic single-goroutine pipeline; too slow under -race")
 	}
 	r, err := Tab5(Quick)
 	if err != nil {
@@ -258,6 +273,9 @@ func TestTab5Claims(t *testing.T) {
 func TestAblationClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations train three models and run three RL passes; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("deterministic single-goroutine pipeline; too slow under -race")
 	}
 	r, err := Ablations(Quick)
 	if err != nil {

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the paper-claim reproductions: they are
+// deterministic single-goroutine pipelines (train, plan, execute) that
+// the race detector slows 10-20x past the per-package test timeout
+// without any concurrency to check. Concurrent-path race coverage
+// lives in the serve, core, widedeep, and rl test suites.
+const raceEnabled = true

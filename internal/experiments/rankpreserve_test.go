@@ -41,6 +41,9 @@ const (
 // Tolerance rationale and the f64-train/f32-infer contract are in
 // PERFORMANCE.md.
 func TestF32RankPreservation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("deterministic single-goroutine pipeline; too slow under -race")
+	}
 	w := Workloads(Quick)[0] // JOB
 	cfg := configFor("JOB", Quick)
 	cfg.Estimator = core.EstimatorWideDeep

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Cross-package fact plumbing for the resource-discipline analyzers
+// (arenaescape, poolpair, atomicfield). A fact is a function or field
+// summary one package exports so its dependents can be checked without
+// re-analyzing the dependency: "Linear.Infer returns arena-backed
+// memory", "GetBuf hands out a pooled value", "Counter.n is accessed
+// atomically". Facts flow in dependency order — the drivers analyze a
+// package's imports first (topologically in standalone mode, via the go
+// command's .vetx files in vet mode) — so a helper in internal/nn
+// propagates its contract to call sites in widedeep, serve, and rl.
+
+// A FactStore holds the fact summaries of every package analyzed so
+// far, keyed by import path. The zero value is not usable; call
+// NewFactStore.
+type FactStore struct {
+	Pkgs map[string]*PackageFacts
+}
+
+// PackageFacts is one package's exported summaries. All maps use
+// package-local keys (see funcFactKey); the enclosing FactStore key
+// carries the package path.
+type PackageFacts struct {
+	// ArenaReturns maps a function key to the result indices that are
+	// backed by the *nn.Arena the function takes as a parameter (or
+	// receiver). Callers treat those results as arena-carved memory.
+	ArenaReturns map[string][]int `json:",omitempty"`
+	// PoolGetters maps a function key to the pool it hands values out
+	// of: the function's first result may come from that pool's Get and
+	// must eventually be returned to it.
+	PoolGetters map[string]string `json:",omitempty"`
+	// PoolPutters maps a function key to the pool its parameter is
+	// returned to.
+	PoolPutters map[string]PutterFact `json:",omitempty"`
+	// AtomicFields is the set of struct-field keys (Type.Field) the
+	// package accesses through sync/atomic functions; every other
+	// access to those fields, in any package, must be atomic too.
+	AtomicFields map[string]bool `json:",omitempty"`
+}
+
+// A PutterFact records that calling the function returns parameter
+// Param to pool Pool (so the call balances a Get from the same pool).
+type PutterFact struct {
+	Pool  string
+	Param int
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{Pkgs: make(map[string]*PackageFacts)}
+}
+
+// Pkg returns the (created on demand) fact set for the package path.
+func (s *FactStore) Pkg(path string) *PackageFacts {
+	pf, ok := s.Pkgs[path]
+	if !ok {
+		pf = &PackageFacts{
+			ArenaReturns: make(map[string][]int),
+			PoolGetters:  make(map[string]string),
+			PoolPutters:  make(map[string]PutterFact),
+			AtomicFields: make(map[string]bool),
+		}
+		s.Pkgs[path] = pf
+	}
+	return pf
+}
+
+// lookup returns the fact set for path, or nil (never creating one, so
+// concurrent-free read paths stay allocation-free).
+func (s *FactStore) lookup(path string) *PackageFacts {
+	return s.Pkgs[path]
+}
+
+// Merge folds every package fact set of other into s (other wins on
+// duplicate function keys; fact extraction is deterministic, so
+// duplicates are identical anyway).
+func (s *FactStore) Merge(other *FactStore) {
+	for path, theirs := range other.Pkgs {
+		mine := s.Pkg(path)
+		for k, v := range theirs.ArenaReturns {
+			mine.ArenaReturns[k] = v
+		}
+		for k, v := range theirs.PoolGetters {
+			mine.PoolGetters[k] = v
+		}
+		for k, v := range theirs.PoolPutters {
+			mine.PoolPutters[k] = v
+		}
+		for k := range theirs.AtomicFields {
+			mine.AtomicFields[k] = true
+		}
+	}
+}
+
+// EncodeFacts serializes the store for a .vetx file. encoding/json
+// writes map keys sorted, so the bytes are deterministic and safe to
+// feed the go command's action cache.
+func EncodeFacts(s *FactStore) ([]byte, error) {
+	return json.Marshal(s.Pkgs)
+}
+
+// DecodeFacts parses a .vetx payload produced by EncodeFacts. Empty
+// input (the pre-facts format, or a gated-out unit) decodes to an empty
+// store.
+func DecodeFacts(data []byte) (*FactStore, error) {
+	s := NewFactStore()
+	if len(data) == 0 {
+		return s, nil
+	}
+	if err := json.Unmarshal(data, &s.Pkgs); err != nil {
+		return nil, fmt.Errorf("decode facts: %v", err)
+	}
+	return s, nil
+}
+
+// funcFactKey returns the package-local fact key of fn: "Name" for a
+// package-level function, "Recv.Name" for a method (pointer receivers
+// and value receivers share a key; a type cannot declare both).
+func funcFactKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// factsForCall resolves the callee of call and returns its package fact
+// set plus its package-local key, or ("", nil) when the callee is not a
+// named function or has no facts recorded.
+func factsForCall(pass *Pass, call *ast.CallExpr) (string, *PackageFacts) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || pass.Facts == nil {
+		return "", nil
+	}
+	pf := pass.Facts.lookup(fn.Pkg().Path())
+	if pf == nil {
+		return "", nil
+	}
+	return funcFactKey(fn), pf
+}
+
+// enclosingNamedFunc resolves the *types.Func of the FuncDecl the stack
+// is inside, or nil inside a FuncLit or at file scope.
+func enclosingNamedFunc(pass *Pass, stack []ast.Node) *types.Func {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return nil
+		case *ast.FuncDecl:
+			fn, _ := pass.Info.ObjectOf(n.Name).(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// topoSort orders pkgs so every package follows all of its imports that
+// are also in pkgs (Go's importer rejects cycles, so plain DFS is
+// enough). Analyzers rely on this to see dependency facts before the
+// dependent package runs.
+func topoSort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Pkg.Path()] = p
+	}
+	var (
+		out     []*Package
+		visited = make(map[string]bool, len(pkgs))
+		visit   func(p *Package)
+	)
+	visit = func(p *Package) {
+		if visited[p.Pkg.Path()] {
+			return
+		}
+		visited[p.Pkg.Path()] = true
+		for _, imp := range p.Pkg.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}

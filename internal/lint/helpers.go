@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -122,4 +123,177 @@ func inspectWithStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) 
 // declaredWithin reports whether obj's declaration lies inside node.
 func declaredWithin(obj types.Object, node ast.Node) bool {
 	return obj != nil && node != nil && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// isNNPkg reports whether pkg is the repo's neural-network package. The
+// suffix match lets fixtures supply a shim package named nn under a
+// short import path (mirroring isObsPkg).
+func isNNPkg(pkg *types.Package) bool {
+	if pkg == nil || pkg.Name() != "nn" {
+		return false
+	}
+	return pkg.Path() == "nn" || strings.HasSuffix(pkg.Path(), "internal/nn")
+}
+
+// isNNArena reports whether t is nn.Arena or *nn.Arena.
+func isNNArena(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Arena" && isNNPkg(named.Obj().Pkg())
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// namedTypeOf unwraps pointers and returns the named type of t, or nil.
+func namedTypeOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// poolKeyOf returns a stable key identifying which sync.Pool value the
+// expression denotes: "<pkg>.<var>" for a package-level pool variable,
+// "<pkg>.<Type>.<field>" for a pool struct field, "" when the pool
+// cannot be identified (a local pool value or an indexed element —
+// untracked rather than misattributed).
+func poolKeyOf(info *types.Info, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() { // package-level var
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return ""
+		}
+		field := sel.Obj()
+		named := namedTypeOf(sel.Recv())
+		if named == nil || field.Pkg() == nil {
+			return ""
+		}
+		return field.Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return poolKeyOf(info, e.X)
+		}
+	}
+	return ""
+}
+
+// fieldKeyOf returns the cross-package key of the struct field a
+// selector resolves to ("<pkg>.<Type>.<Field>"), or "" for non-field
+// selections.
+func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	field := s.Obj()
+	named := namedTypeOf(s.Recv())
+	if named == nil || field.Pkg() == nil {
+		return ""
+	}
+	return field.Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+}
+
+// baseIdent returns the leftmost identifier of a selector/index chain
+// (x in x.f[i].g), or nil.
+func baseIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isPackageLevel reports whether obj is a package-scope object.
+func isPackageLevel(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// elseStmts flattens an else arm (block or else-if chain) into a
+// statement list.
+func elseStmts(s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return s.List
+	case nil:
+		return nil
+	default: // else-if
+		return []ast.Stmt{s}
+	}
+}
+
+// callsBuiltinCap reports whether the expression contains a call to the
+// builtin cap — the signature of the pooled-buffer retention-cap drop
+// idiom (`if cap(b) > limit { return }`).
+func callsBuiltinCap(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "cap" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isPanicOrExit reports whether the statement unconditionally aborts
+// control flow (panic, os.Exit, log.Fatal*): paths through it never
+// reach the function's normal exits.
+func isPanicOrExit(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	return path == "os" && name == "Exit" ||
+		path == "log" && strings.HasPrefix(name, "Fatal")
 }

@@ -6,7 +6,7 @@
 // Diagnostic) but are built on the standard library's go/ast + go/types
 // only, so the module keeps zero external dependencies.
 //
-// The suite ships five analyzers (see LINTING.md for the catalog):
+// The suite ships eight analyzers (see LINTING.md for the catalog):
 //
 //   - randsource: no ambient math/rand calls or time-seeded sources;
 //     all randomness flows through an explicitly seeded *rand.Rand.
@@ -15,6 +15,17 @@
 //   - spanend: every obs.StartSpan result is ended (normally by defer).
 //   - floateq: no ==/!= between floating-point operands outside tests.
 //   - errdiscard: no silently dropped error returns in internal/.
+//   - arenaescape: memory carved from an *nn.Arena must not outlive
+//     the arena's Reset (no stores to fields, globals, or channels; no
+//     returns except through an arena-parameter helper).
+//   - poolpair: every sync.Pool Get reaches a matching Put on all
+//     paths (the retention-cap drop idiom is recognized).
+//   - atomicfield: a struct field accessed through sync/atomic
+//     anywhere is accessed atomically everywhere.
+//
+// The last three are dataflow-aware and exchange cross-package function
+// and field summaries ("facts", facts.go) so helper contracts in
+// internal/nn propagate to call sites in widedeep, serve, and rl.
 //
 // Analyzers inspect non-test files only (the loader feeds them GoFiles,
 // which excludes *_test.go); test-file hygiene stays with go vet.
@@ -44,6 +55,11 @@ type Analyzer struct {
 	Doc string
 	// Run analyzes a single package.
 	Run func(*Pass) error
+	// Facts, if set, extracts the package's exported function/field
+	// summaries into pass.OwnFacts. The drivers call it for every
+	// package — dependencies included, in dependency order — before any
+	// dependent's Run, so cross-package contracts propagate (facts.go).
+	Facts func(*Pass) error
 }
 
 // A Pass carries one package's syntax and type information to an
@@ -54,6 +70,12 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Facts holds the summaries of every package analyzed so far (this
+	// package's own Facts phase included); OwnFacts is the sink the
+	// Facts phase writes this package's summaries into.
+	Facts    *FactStore
+	OwnFacts *PackageFacts
 
 	diags *[]Diagnostic
 }
@@ -80,7 +102,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in catalog order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RandSource, MapOrder, SpanEnd, FloatEq, ErrDiscard}
+	return []*Analyzer{RandSource, MapOrder, SpanEnd, FloatEq, ErrDiscard, ArenaEscape, PoolPair, AtomicField}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -109,22 +131,48 @@ func AppliesTo(a *Analyzer, pkgPath string) bool {
 
 // RunAnalyzers applies every analyzer (within its scope) to each
 // package, drops //lint:allow-suppressed findings, and returns the
-// remaining diagnostics in file/position order.
+// remaining diagnostics in file/position order. Packages are processed
+// in dependency order and each package's fact phase runs before its
+// diagnostic phase, so cross-package summaries (facts.go) reach their
+// consumers; fact-only packages (dependencies loaded just for their
+// summaries) contribute facts but no diagnostics.
 func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return RunAnalyzersWithFacts(analyzers, pkgs, NewFactStore())
+}
+
+// RunAnalyzersWithFacts is RunAnalyzers seeded with facts imported from
+// outside the package set (the unitchecker driver reads them from the
+// .vetx files of already-analyzed dependencies). The store accumulates
+// every analyzed package's own facts as a side effect.
+func RunAnalyzersWithFacts(analyzers []*Analyzer, pkgs []*Package, store *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range topoSort(pkgs) {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			Facts:    store,
+			OwnFacts: store.Pkg(pkg.Pkg.Path()),
+			diags:    &diags,
+		}
+		for _, a := range analyzers {
+			if a.Facts == nil || !AppliesTo(a, pkg.Pkg.Path()) {
+				continue
+			}
+			pass.Analyzer = a
+			if err := a.Facts(pass); err != nil {
+				return nil, fmt.Errorf("%s facts: %s: %w", a.Name, pkg.Pkg.Path(), err)
+			}
+		}
+		if pkg.FactOnly {
+			continue
+		}
 		for _, a := range analyzers {
 			if !AppliesTo(a, pkg.Pkg.Path()) {
 				continue
 			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Pkg,
-				Info:     pkg.Info,
-				diags:    &diags,
-			}
+			pass.Analyzer = a
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Pkg.Path(), err)
 			}

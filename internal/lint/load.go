@@ -22,6 +22,10 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// FactOnly marks a dependency loaded just so its fact summaries
+	// (facts.go) reach the target packages; it contributes no
+	// diagnostics of its own.
+	FactOnly bool
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -42,6 +46,13 @@ type listPkg struct {
 // -export flag materializes in the build cache, so loading needs no
 // network and no dependency-order bookkeeping. Test files are excluded
 // (GoFiles never contains them).
+//
+// Module-internal dependencies that match no pattern are loaded too,
+// marked FactOnly: the fact-producing analyzers (facts.go) need their
+// function summaries even when only a dependent package is being
+// checked (`bin/autoviewlint ./internal/serve` must still know which
+// internal/nn helpers return arena-backed memory). Standard-library
+// dependencies export no facts and stay export-data-only.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -69,7 +80,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
+		if !p.DepOnly || !p.Standard {
 			q := p
 			targets = append(targets, &q)
 		}
@@ -83,6 +94,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactOnly = t.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

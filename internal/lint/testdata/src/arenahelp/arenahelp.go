@@ -1,0 +1,18 @@
+// Package arenahelp is a fixture dependency for arenaescape: helpers
+// that take an arena and hand back carved memory. Each exports a
+// "returns arena-backed memory" fact that the arenaescape fixture
+// package consumes across the package boundary.
+package arenahelp
+
+import "nn"
+
+// Carve returns memory carved from a; the caller owns the lifetime.
+func Carve(a *nn.Arena, n int) nn.Vec { return a.Vec(n) }
+
+// CarveChain returns Carve's result, proving facts chain through
+// in-package helpers during fixpoint extraction.
+func CarveChain(a *nn.Arena, n int) nn.Vec { return Carve(a, n) }
+
+// CarveTwo returns carved memory at result index 0 and a plain count
+// at index 1, exercising index-precise facts.
+func CarveTwo(a *nn.Arena, n int) (nn.Vec, int) { return a.Vec(n), n }

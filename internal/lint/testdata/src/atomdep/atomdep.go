@@ -1,0 +1,19 @@
+// Package atomdep is a fixture dependency for atomicfield: its
+// Counter.Hits field is driven through function-style sync/atomic
+// calls, exporting an "accessed atomically" fact that protects the
+// field against plain touches in dependent packages.
+package atomdep
+
+import "sync/atomic"
+
+// Counter counts hits; Hits is only ever touched atomically here.
+type Counter struct {
+	Hits uint64
+	Name string
+}
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { atomic.AddUint64(&c.Hits, 1) }
+
+// Load reads the counter.
+func (c *Counter) Load() uint64 { return atomic.LoadUint64(&c.Hits) }

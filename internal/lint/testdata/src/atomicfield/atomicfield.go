@@ -1,0 +1,66 @@
+// Fixtures for the atomicfield analyzer.
+package atomicfield
+
+import (
+	"sync/atomic"
+
+	"atomdep"
+)
+
+type gauge struct {
+	val  int64
+	name string
+}
+
+// The atomic writer that puts val under the atomic regime.
+func (g *gauge) bump() { atomic.AddInt64(&g.val, 1) }
+
+// Plain read racing the atomic writer.
+func (g *gauge) read() int64 {
+	return g.val // want `plain access races`
+}
+
+// Plain write races the same way.
+func (g *gauge) resetRacy() {
+	g.val = 0 // want `plain access races`
+}
+
+// Plain read-modify-write is the worst of both.
+func (g *gauge) bumpRacy() {
+	g.val++ // want `plain access races`
+}
+
+// Cross-package: atomdep drives Counter.Hits atomically; a plain read
+// here races it. The field's regime rides facts.
+func Total(c *atomdep.Counter) uint64 {
+	return c.Hits // want `accessed via sync/atomic elsewhere`
+}
+
+// Guard: atomic access is the sanctioned mode, in-package and cross.
+func (g *gauge) readAtomic() int64 { return atomic.LoadInt64(&g.val) }
+
+// IncTotal bumps the cross-package counter atomically.
+func IncTotal(c *atomdep.Counter) { atomic.AddUint64(&c.Hits, 1) }
+
+// Guard: fields never touched atomically stay unconstrained.
+func (g *gauge) title() string { return g.name }
+
+// Guard: same field name on an unrelated type is a different field.
+type other struct{ val int64 }
+
+func (o *other) touch() { o.val++ }
+
+// Guard: single-goroutine-init idiom — the struct is function-local,
+// so nothing can observe the plain write yet.
+func newGauge(v int64) *gauge {
+	g := &gauge{}
+	g.val = v
+	return g
+}
+
+// A single-writer restore through a parameter is not the recognized
+// idiom; vetted sites are waived with the audit tag.
+func restore(g *gauge, v int64) {
+	//lint:allow atomicfield(audit) single-writer restore before serving starts
+	g.val = v
+}

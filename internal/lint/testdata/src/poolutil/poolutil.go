@@ -1,0 +1,23 @@
+// Package poolutil is a fixture dependency for poolpair: a pool
+// wrapped behind getter/putter helpers. GetBuf exports a "hands out
+// pooled memory" fact and PutBuf a "returns parameter 0 to the pool"
+// fact, so the poolpair fixture package is checked across the package
+// boundary exactly like direct Get/Put calls.
+package poolutil
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+const maxRetain = 1 << 16
+
+// GetBuf hands out a pooled buffer; callers must PutBuf it.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns b to the pool, shedding oversized buffers.
+func PutBuf(b *[]byte) {
+	if cap(*b) > maxRetain {
+		return
+	}
+	bufPool.Put(b)
+}

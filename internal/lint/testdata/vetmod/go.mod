@@ -1,0 +1,3 @@
+module autoviewvet
+
+go 1.24

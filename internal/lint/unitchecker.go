@@ -8,6 +8,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"strings"
 )
 
 // This file implements the `go vet -vettool=` side of the suite: the go
@@ -16,6 +17,12 @@ import (
 // golang.org/x/tools/go/analysis/unitchecker speaks). Reimplementing
 // the contract on the stdlib keeps the module dependency-free while
 // letting the suite ride go vet's per-package result caching.
+//
+// Facts ride the same protocol: each unit's .vetx output carries the
+// JSON-encoded fact store (facts.go) of that package and everything
+// beneath it, and PackageVetx hands a unit its dependencies' files, so
+// an arena contract recorded in internal/nn reaches a call site in
+// internal/serve through go vet's own dependency ordering.
 
 // VetConfig mirrors the fields of the go command's vet.cfg files that
 // the suite consumes.
@@ -28,6 +35,7 @@ type VetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -46,12 +54,52 @@ func RunVetUnit(analyzers []*Analyzer, cfgFile string) ([]Diagnostic, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parse %s: %v", cfgFile, err)
 	}
-	if cfg.VetxOnly {
-		// Dependency unit: the go command only wants this package's
-		// facts. The suite exports none, so just write the vetx file.
-		return nil, writeVetx(cfg.VetxOutput)
+	store, err := readDepFacts(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly && !isModuleUnit(&cfg) {
+		// Standard-library (or otherwise foreign) dependency unit: it can
+		// export no suite facts, so skip the typecheck and pass through
+		// whatever its own dependencies carried.
+		return nil, writeVetx(cfg.VetxOutput, store)
 	}
 
+	pkg, err := loadUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeVetx(cfg.VetxOutput, store)
+		}
+		return nil, err
+	}
+	// A VetxOnly unit contributes facts but no diagnostics — exactly the
+	// fact-only package shape the standalone driver uses.
+	pkg.FactOnly = cfg.VetxOnly
+
+	diags, err := RunAnalyzersWithFacts(analyzers, []*Package{pkg}, store)
+	if err != nil {
+		return nil, err
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !isTestFile(d.Pos.Filename) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, writeVetx(cfg.VetxOutput, store)
+}
+
+// isModuleUnit reports whether the unit belongs to this module (or its
+// test variants): only module units are parsed for facts — typechecking
+// the entire standard library from source on every vet run would defeat
+// the point of export data.
+func isModuleUnit(cfg *VetConfig) bool {
+	return strings.HasPrefix(cfg.ImportPath, "autoview")
+}
+
+// loadUnit parses and typechecks the unit's files against its compiled
+// dependencies.
+func loadUnit(cfg *VetConfig) (*Package, error) {
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, compilerOr(cfg.Compiler), func(path string) (io.ReadCloser, error) {
 		file, ok := cfg.PackageFile[path]
@@ -68,41 +116,40 @@ func RunVetUnit(analyzers []*Analyzer, cfgFile string) ([]Diagnostic, error) {
 		}
 		return imp.Import(path)
 	})
-
-	pkg, err := checkPackage(fset, mapped, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return nil, writeVetx(cfg.VetxOutput)
-		}
-		return nil, err
-	}
-
-	scoped := analyzers[:0:0]
-	for _, a := range analyzers {
-		if AppliesTo(a, cfg.ImportPath) {
-			scoped = append(scoped, a)
-		}
-	}
-	diags, err := RunAnalyzers(scoped, []*Package{pkg})
-	if err != nil {
-		return nil, err
-	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if !isTestFile(d.Pos.Filename) {
-			kept = append(kept, d)
-		}
-	}
-	return kept, writeVetx(cfg.VetxOutput)
+	return checkPackage(fset, mapped, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
 }
 
-// writeVetx writes the (empty — the suite exports no facts) vetx file
-// the go command caches for this unit.
-func writeVetx(path string) error {
+// readDepFacts merges the fact stores of every dependency vetx file the
+// go command handed this unit. Empty and legacy (fact-free) files
+// decode to nothing, so mixed-version build caches stay readable.
+func readDepFacts(cfg *VetConfig) (*FactStore, error) {
+	store := NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("read facts of %s: %v", path, err)
+		}
+		dep, err := DecodeFacts(data)
+		if err != nil {
+			return nil, fmt.Errorf("decode facts of %s: %v", path, err)
+		}
+		store.Merge(dep)
+	}
+	return store, nil
+}
+
+// writeVetx writes the unit's accumulated fact store (its dependencies'
+// facts plus its own) for the go command to cache and feed to
+// dependents.
+func writeVetx(path string, store *FactStore) error {
 	if path == "" {
 		return nil
 	}
-	return os.WriteFile(path, nil, 0o666)
+	data, err := EncodeFacts(store)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }
 
 func compilerOr(c string) string {

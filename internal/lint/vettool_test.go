@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolCrossPackage drives the real `go vet -vettool=` pipeline
+// over testdata/vetmod, a self-contained module whose app package
+// violates contracts its dependencies export as facts. Both expected
+// findings are invisible to intra-package analysis, so this test fails
+// if the .vetx fact plumbing (PackageVetx in, VetxOutput out) breaks.
+func TestVetToolCrossPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and runs go vet; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "autoviewlint")
+	build := exec.Command("go", "build", "-o", bin, "autoview/cmd/autoviewlint")
+	build.Dir = ".."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build vettool: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = filepath.Join("testdata", "vetmod")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet found nothing; want two cross-package findings\n%s", out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		// arenaescape: enc.Embed's "returns arena-backed memory" fact
+		// reached the app unit.
+		"arena-backed slice stored in package variable global",
+		// poolpair: bufpool's getter/putter facts reached the app unit.
+		"is not returned to the pool on this path",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("go vet output missing %q:\n%s", want, text)
+		}
+	}
+	// The conforming sites (PutBuf on the happy path, the enc helper
+	// itself) must stay quiet.
+	for _, file := range []string{"enc.go", "bufpool.go", "nn.go"} {
+		if strings.Contains(text, file) {
+			t.Errorf("unexpected finding in dependency %s:\n%s", file, text)
+		}
+	}
+}

@@ -228,6 +228,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("estimate not ready within %v", s.cfg.RequestTimeout))
 			// The batcher may still write into missOut: abandon the
 			// scratch rather than recycle a buffer under a live writer.
+			//lint:allow poolpair(audit) deliberate drop: recycling would put a buffer under a live batcher writer
 			return
 		}
 		for j, i := range sc.missIdx {
