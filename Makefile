@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-race-full test-alloc fuzz-smoke bench bench-train bench-obs bench-serve bench-cold bench-predict vet lint autoviewlint check-bce
+.PHONY: build test test-race test-race-full test-alloc test-crash fuzz-smoke bench bench-train bench-obs bench-serve bench-cold bench-predict vet lint autoviewlint check-bce
 
 build:
 	$(GO) build ./...
@@ -33,12 +33,23 @@ test-race-full:
 test-alloc:
 	$(GO) test -run 'Alloc|AllocsBatchSizeIndependent|ArenaConverges' ./internal/widedeep/ ./internal/serve/ ./internal/nn/ ./internal/sqlparse/ -v -count=1
 
-# Short native-fuzz pass over the API JSON decode paths and the query
-# fingerprint canonicalizer (seeds + 10s of mutation per target).
+# Crash-recovery fault injection (DURABILITY in SERVING.md): the WAL
+# sweep kills a child process at every record boundary and mid-record
+# during a scripted session, then asserts recovery reconstructs the
+# surviving prefix exactly; the serve-level sweep does the same through
+# a full advisor session and compares the recovered window, view set,
+# and /v1/estimate responses byte-for-byte against a never-crashed run.
+test-crash:
+	$(GO) test -run 'TestCrash|TestServeCrash' -count=1 -v ./internal/durable/ ./internal/serve/
+
+# Short native-fuzz pass over the API JSON decode paths, the query
+# fingerprint canonicalizer, and the WAL record decoder (seeds + 10s of
+# mutation per target).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEstimateDecode -fuzztime 10s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz FuzzAdviseDecode -fuzztime 10s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime 10s ./internal/sqlparse/
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/durable/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

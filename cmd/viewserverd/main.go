@@ -13,7 +13,16 @@
 //	            [-seed N] [-parallelism N] [-window N]
 //	            [-advise-interval DUR] [-utility-tolerance F]
 //	            [-cache-size N] [-cache-ttl DUR]
+//	            [-data-dir DIR] [-fsync always|interval|off] [-snapshot-every N]
 //	            [-log-level debug|info|warn|error]
+//
+// With -data-dir the advisor state is durable: ingested queries, model
+// swaps, and view-set rotations are logged to a write-ahead log with
+// periodic snapshots, and a restart (even after a crash or kill -9)
+// recovers the rolling window, view set, and W-D model byte-identically
+// instead of re-bootstrapping. While recovery replays, /v1/healthz
+// reports state "recovering" with 503 and every other endpoint answers
+// 503, flipping to "ready" when replay finishes.
 //
 // The /metrics, /debug/vars and /debug/pprof endpoints are mounted on
 // the same listener as the /v1 API, so one address exposes both the
@@ -26,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +44,7 @@ import (
 	"time"
 
 	"autoview/internal/core"
+	"autoview/internal/durable"
 	"autoview/internal/obs"
 	"autoview/internal/serve"
 	"autoview/internal/workload"
@@ -54,25 +65,31 @@ func main() {
 	cacheSize := flag.Int("cache-size", 0, "fingerprint-keyed estimate cache entries (0 = default 4096, negative disables)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "age bound on cached estimates (0 = version-invalidation only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
+	dataDir := flag.String("data-dir", "", "durable state directory: WAL + snapshots + model checkpoints (empty disables durability)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval, off")
+	snapshotEvery := flag.Int("snapshot-every", 0, "WAL records between automatic snapshots (0 = default 1024, negative disables)")
 	logLevel := flag.String("log-level", "info", "structured event level on stderr: debug, info, warn, error")
 	flag.Parse()
 
 	if err := run(options{
-		addr:         *addr,
-		workload:     *wl,
-		schemaPath:   *schemaPath,
-		queriesPath:  *queriesPath,
-		estimator:    *est,
-		selector:     *sel,
-		seed:         *seed,
-		parallelism:  *parallelism,
-		windowSize:   *windowSize,
-		adviseEvery:  *adviseEvery,
-		utilityTol:   *utilityTol,
-		cacheSize:    *cacheSize,
-		cacheTTL:     *cacheTTL,
-		drainTimeout: *drainTimeout,
-		logLevel:     *logLevel,
+		addr:          *addr,
+		workload:      *wl,
+		schemaPath:    *schemaPath,
+		queriesPath:   *queriesPath,
+		estimator:     *est,
+		selector:      *sel,
+		seed:          *seed,
+		parallelism:   *parallelism,
+		windowSize:    *windowSize,
+		adviseEvery:   *adviseEvery,
+		utilityTol:    *utilityTol,
+		cacheSize:     *cacheSize,
+		cacheTTL:      *cacheTTL,
+		drainTimeout:  *drainTimeout,
+		dataDir:       *dataDir,
+		fsync:         *fsync,
+		snapshotEvery: *snapshotEvery,
+		logLevel:      *logLevel,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "viewserverd:", err)
 		os.Exit(1)
@@ -80,21 +97,24 @@ func main() {
 }
 
 type options struct {
-	addr         string
-	workload     string
-	schemaPath   string
-	queriesPath  string
-	estimator    string
-	selector     string
-	seed         int64
-	parallelism  int
-	windowSize   int
-	adviseEvery  time.Duration
-	utilityTol   float64
-	cacheSize    int
-	cacheTTL     time.Duration
-	drainTimeout time.Duration
-	logLevel     string
+	addr          string
+	workload      string
+	schemaPath    string
+	queriesPath   string
+	estimator     string
+	selector      string
+	seed          int64
+	parallelism   int
+	windowSize    int
+	adviseEvery   time.Duration
+	utilityTol    float64
+	cacheSize     int
+	cacheTTL      time.Duration
+	drainTimeout  time.Duration
+	dataDir       string
+	fsync         string
+	snapshotEvery int
+	logLevel      string
 }
 
 func run(o options) error {
@@ -117,10 +137,10 @@ func run(o options) error {
 		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "viewserverd: bootstrapping on workload %s (%d queries, estimator %s, selector %v)\n",
-		w.Name, len(w.Queries), coreCfg.Estimator, coreCfg.Selector)
-	start := time.Now()
-	srv, err := serve.New(w, coreCfg, serve.Config{
+	// Bind the listener before bootstrap/recovery so /v1/healthz answers
+	// (503, state "recovering") the moment the port is up; every other
+	// endpoint is readiness-gated until Start finishes.
+	srv := serve.NewServer(w, coreCfg, serve.Config{
 		Parallelism:      o.parallelism,
 		WindowSize:       o.windowSize,
 		AdviseInterval:   o.adviseEvery,
@@ -128,21 +148,59 @@ func run(o options) error {
 		CacheSize:        o.cacheSize,
 		CacheTTL:         o.cacheTTL,
 	})
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("listen on %s: %w", o.addr, err)
 	}
-	fmt.Fprintf(os.Stderr, "viewserverd: bootstrap advise done in %v\n", time.Since(start).Round(time.Millisecond))
-
-	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
 		}
 		errCh <- nil
 	}()
-	fmt.Fprintf(os.Stderr, "viewserverd: serving /v1 API and /metrics on http://%s\n", o.addr)
+	fmt.Fprintf(os.Stderr, "viewserverd: listening on http://%s (recovering)\n", ln.Addr())
+
+	var dstore *durable.Store
+	if o.dataDir != "" {
+		policy, err := durable.ParseFsync(o.fsync)
+		if err != nil {
+			_ = httpSrv.Close()
+			return err
+		}
+		dstore, err = durable.Open(durable.Options{
+			Dir:           o.dataDir,
+			Fsync:         policy,
+			SnapshotEvery: o.snapshotEvery,
+			WindowCap:     o.windowSize,
+		})
+		if err != nil {
+			_ = httpSrv.Close()
+			return fmt.Errorf("open data dir %s: %w", o.dataDir, err)
+		}
+		if dstore.Recovered() != nil {
+			fmt.Fprintf(os.Stderr, "viewserverd: recovering durable state from %s\n", o.dataDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "viewserverd: fresh data dir %s, bootstrapping on workload %s (%d queries, estimator %s, selector %v)\n",
+				o.dataDir, w.Name, len(w.Queries), coreCfg.Estimator, coreCfg.Selector)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "viewserverd: bootstrapping on workload %s (%d queries, estimator %s, selector %v)\n",
+			w.Name, len(w.Queries), coreCfg.Estimator, coreCfg.Selector)
+	}
+
+	start := time.Now()
+	if err := srv.Start(context.Background(), dstore); err != nil {
+		_ = httpSrv.Close()
+		if dstore != nil {
+			_ = dstore.Close()
+		}
+		return fmt.Errorf("start: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "viewserverd: ready in %v, serving /v1 API and /metrics on http://%s\n",
+		time.Since(start).Round(time.Millisecond), ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -150,18 +208,36 @@ func run(o options) error {
 	case sig := <-sigCh:
 		fmt.Fprintf(os.Stderr, "viewserverd: %v received, draining (timeout %v)\n", sig, o.drainTimeout)
 	case err := <-errCh:
-		return fmt.Errorf("listen on %s: %w", o.addr, err)
+		// Serve only reports before Shutdown on a real listener failure;
+		// still drain so accepted ingest reaches the window and the WAL.
+		_ = srv.Close(context.Background())
+		if dstore != nil {
+			_ = dstore.Close()
+		}
+		return fmt.Errorf("serve on %s: %w", o.addr, err)
 	}
 
 	// Stop the listener first so in-flight handlers can still collect
-	// their micro-batch results, then drain the serve pipeline.
+	// their micro-batch results, then drain the serve pipeline. A
+	// shutdown timeout must NOT skip the drain: srv.Close is what flushes
+	// the queued ingest into the window and the WAL, so it always runs
+	// (and likewise the durable store always closes).
 	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		return fmt.Errorf("http shutdown: %w", err)
+	shutdownErr := httpSrv.Shutdown(ctx)
+	drainErr := srv.Close(ctx)
+	var storeErr error
+	if dstore != nil {
+		storeErr = dstore.Close()
 	}
-	if err := srv.Close(ctx); err != nil {
-		return fmt.Errorf("drain: %w", err)
+	if shutdownErr != nil {
+		return fmt.Errorf("http shutdown: %w", shutdownErr)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	if storeErr != nil {
+		return fmt.Errorf("close data dir: %w", storeErr)
 	}
 	if err := <-errCh; err != nil {
 		return err

@@ -16,6 +16,16 @@ var ErrNoCandidates = errors.New("core: no candidate views in workload")
 
 var obsWindowSize = obs.Default.Gauge("core.window.size", "queries currently held by the rolling workload window")
 
+// windowEntry is one held query: the parsed plan the pipeline consumes
+// plus the SQL text it was parsed from (empty when the producer had no
+// text). The tag exists for durability: a persisted window is its SQL
+// list, and re-parsing that list reconstructs the plans byte-identically
+// (plan.Parse is deterministic over an immutable catalog).
+type windowEntry struct {
+	q   *plan.Node
+	sql string
+}
+
 // Window is a bounded rolling workload window: a fixed-capacity ring of
 // query plans where appending beyond capacity evicts the oldest entry.
 // It is the online system's view of "the current workload" — the
@@ -23,7 +33,7 @@ var obsWindowSize = obs.Default.Gauge("core.window.size", "queries currently hel
 // All methods are safe for concurrent use.
 type Window struct {
 	mu    sync.Mutex
-	buf   []*plan.Node
+	buf   []windowEntry
 	next  int  // ring write position
 	full  bool // buf has wrapped at least once
 	total uint64
@@ -35,27 +45,69 @@ func NewWindow(capacity int) *Window {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &Window{buf: make([]*plan.Node, 0, capacity)}
+	return &Window{buf: make([]windowEntry, 0, capacity)}
 }
 
 // Cap returns the window's capacity.
 func (w *Window) Cap() int { return cap(w.buf) }
 
 // Append adds queries in order, evicting the oldest entries once the
-// window is full.
+// window is full. Entries appended this way carry no SQL tag; durable
+// callers use AppendTagged.
 func (w *Window) Append(queries ...*plan.Node) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for _, q := range queries {
-		if len(w.buf) < cap(w.buf) {
-			w.buf = append(w.buf, q)
-		} else {
-			w.buf[w.next] = q
-			w.next = (w.next + 1) % cap(w.buf)
-			w.full = true
-		}
-		w.total++
+		w.push(windowEntry{q: q})
 	}
+	obsWindowSize.Set(float64(len(w.buf)))
+}
+
+// AppendTagged adds queries in order like Append, tagging each with the
+// SQL text it was parsed from. sqls must be the same length as queries.
+func (w *Window) AppendTagged(queries []*plan.Node, sqls []string) {
+	if len(queries) != len(sqls) {
+		panic("core: AppendTagged length mismatch")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, q := range queries {
+		w.push(windowEntry{q: q, sql: sqls[i]})
+	}
+	obsWindowSize.Set(float64(len(w.buf)))
+}
+
+// push appends one entry under w.mu, evicting the oldest at capacity.
+func (w *Window) push(e windowEntry) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, e)
+	} else {
+		w.buf[w.next] = e
+		w.next = (w.next + 1) % cap(w.buf)
+		w.full = true
+	}
+	w.total++
+}
+
+// Restore replaces the window's contents with the given queries
+// (oldest-first) and sets the lifetime total, as when recovering
+// persisted state. When more queries than capacity are given only the
+// newest capacity entries are kept, exactly as if they had been appended
+// in order. sqls must be the same length as queries.
+func (w *Window) Restore(queries []*plan.Node, sqls []string, total uint64) {
+	if len(queries) != len(sqls) {
+		panic("core: Restore length mismatch")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = w.buf[:0]
+	w.next = 0
+	w.full = false
+	w.total = 0
+	for i, q := range queries {
+		w.push(windowEntry{q: q, sql: sqls[i]})
+	}
+	w.total = total
 	obsWindowSize.Set(float64(len(w.buf)))
 }
 
@@ -81,12 +133,38 @@ func (w *Window) Snapshot() []*plan.Node {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	out := make([]*plan.Node, 0, len(w.buf))
-	if w.full {
-		out = append(out, w.buf[w.next:]...)
-		out = append(out, w.buf[:w.next]...)
-	} else {
-		out = append(out, w.buf...)
+	for _, e := range w.ordered() {
+		out = append(out, e.q)
 	}
+	return out
+}
+
+// SnapshotTagged returns the current contents oldest-first as parallel
+// plan and SQL slices (the SQL an entry was tagged with at append time,
+// "" for untagged entries). Both slices are copies.
+func (w *Window) SnapshotTagged() ([]*plan.Node, []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ord := w.ordered()
+	plans := make([]*plan.Node, len(ord))
+	sqls := make([]string, len(ord))
+	for i, e := range ord {
+		plans[i] = e.q
+		sqls[i] = e.sql
+	}
+	return plans, sqls
+}
+
+// ordered returns the ring contents oldest-first (caller holds w.mu).
+// The returned slice aliases w.buf only in the unwrapped case, where the
+// buffer is already in order; wrapped reads build a fresh slice.
+func (w *Window) ordered() []windowEntry {
+	if !w.full {
+		return w.buf
+	}
+	out := make([]windowEntry, 0, len(w.buf))
+	out = append(out, w.buf[w.next:]...)
+	out = append(out, w.buf[:w.next]...)
 	return out
 }
 

@@ -1,0 +1,264 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"autoview/internal/obs"
+)
+
+// segmentName returns the file name of the segment whose first record
+// has the given LSN.
+func segmentName(firstLSN uint64) string { return fmt.Sprintf("wal-%016x.log", firstLSN) }
+
+// walOp is one unit of work for the writer goroutine: a record append, a
+// flush/sync barrier, or a segment rotation marker.
+type walOp struct {
+	lsn     uint64
+	t       RecordType
+	payload []byte
+	syncCh  chan error // barrier: flush (+fsync per policy), report
+	rotate  bool       // close the current segment; next record opens a new one
+}
+
+// wal is the append side of the log: LSNs are assigned under mu (the
+// send into the bounded queue happens under the same lock, so queue
+// order is LSN order) and a single writer goroutine owns the file.
+type wal struct {
+	opts Options
+	cp   *crashpoint
+
+	mu      sync.Mutex
+	closed  bool
+	nextLSN uint64
+
+	queue chan walOp
+	done  chan struct{}
+
+	// Writer-goroutine state (unsynchronized: single owner).
+	f     *os.File
+	bw    *bufio.Writer
+	dirty bool   // flushed to the OS but not yet fsynced
+	frame []byte // encode scratch
+	err   error  // sticky write error
+}
+
+// openWAL starts the writer. nextLSN is the first LSN to assign;
+// resumePath (when non-empty) is the newest existing segment, already
+// truncated past its last intact record, to continue appending to.
+func openWAL(opts Options, nextLSN uint64, resumePath string) (*wal, error) {
+	w := &wal{
+		opts:    opts,
+		cp:      crashpointFromEnv(),
+		nextLSN: nextLSN,
+		queue:   make(chan walOp, opts.QueueDepth),
+		done:    make(chan struct{}),
+	}
+	if resumePath != "" {
+		f, err := os.OpenFile(resumePath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("durable: resume segment: %w", err)
+		}
+		w.f = f
+		w.bw = bufio.NewWriter(f)
+	}
+	go w.run()
+	return w, nil
+}
+
+// append assigns the next LSN and enqueues the record. A full queue
+// blocks (backpressure) rather than dropping; the writer always drains,
+// so the wait is bounded by disk throughput. Returns the assigned LSN.
+func (w *wal) append(t RecordType, payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("durable: append after close")
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.queue <- walOp{lsn: lsn, t: t, payload: payload}
+	obsQueue.Set(float64(len(w.queue)))
+	return lsn, nil
+}
+
+// lastLSN returns the most recently assigned LSN (0 before any append).
+func (w *wal) lastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// sync blocks until every record enqueued before it is written and —
+// unless the policy is FsyncOff — fsynced. It reports the writer's
+// sticky error, so callers learn about append failures here.
+func (w *wal) sync() error {
+	ch := make(chan error, 1)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("durable: sync after close")
+	}
+	w.queue <- walOp{syncCh: ch}
+	w.mu.Unlock()
+	return <-ch
+}
+
+// rotate marks a segment boundary: the writer closes the current file
+// after draining everything enqueued before the marker, and the next
+// record lazily opens a fresh segment named by its LSN.
+func (w *wal) rotate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.queue <- walOp{rotate: true}
+}
+
+// close drains the queue, flushes, fsyncs (unless FsyncOff), closes the
+// file, and stops the writer. Idempotent; returns the sticky error.
+func (w *wal) close() error {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.queue)
+	}
+	w.mu.Unlock()
+	<-w.done
+	return w.err
+}
+
+// run is the writer goroutine.
+func (w *wal) run() {
+	defer close(w.done)
+	var tick <-chan time.Time
+	if w.opts.Fsync == FsyncInterval {
+		t := time.NewTicker(w.opts.FsyncEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case op, ok := <-w.queue:
+			if !ok {
+				w.flush(w.opts.Fsync != FsyncOff)
+				w.closeFile()
+				return
+			}
+			w.handle(op)
+			if len(w.queue) == 0 {
+				// Queue drained: push buffered bytes to the OS so an
+				// abrupt process death loses at most in-queue records.
+				w.flush(false)
+			}
+			obsQueue.Set(float64(len(w.queue)))
+		case <-tick:
+			if w.dirty || w.buffered() {
+				w.flush(true)
+			}
+		}
+	}
+}
+
+func (w *wal) buffered() bool { return w.bw != nil && w.bw.Buffered() > 0 }
+
+// handle applies one op in the writer goroutine.
+func (w *wal) handle(op walOp) {
+	switch {
+	case op.syncCh != nil:
+		w.flush(w.opts.Fsync != FsyncOff)
+		op.syncCh <- w.err
+	case op.rotate:
+		w.flush(w.opts.Fsync != FsyncOff)
+		w.closeFile()
+	default:
+		w.write(op)
+	}
+}
+
+// write frames and appends one record.
+func (w *wal) write(op walOp) {
+	if w.err != nil {
+		return // sticky: later syncs surface it
+	}
+	if w.f == nil {
+		name := filepath.Join(w.opts.Dir, segmentName(op.lsn))
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			w.fail(fmt.Errorf("durable: open segment: %w", err))
+			return
+		}
+		w.f = f
+		w.bw = bufio.NewWriter(f)
+		if _, err := w.bw.Write(appendHeader(nil)); err != nil {
+			w.fail(err)
+			return
+		}
+		obsSegments.Inc()
+	}
+	w.frame = appendFrame(w.frame[:0], op.t, op.payload)
+	if w.cp != nil && op.lsn == w.cp.lsn {
+		// Fault injection: everything before this record must reach the
+		// file first, then the (possibly torn) frame goes down raw and
+		// the process dies as if SIGKILLed.
+		if err := w.bw.Flush(); err != nil {
+			w.fail(err)
+			return
+		}
+		w.cp.fire(w.f, w.frame)
+	}
+	if _, err := w.bw.Write(w.frame); err != nil {
+		w.fail(err)
+		return
+	}
+	obsAppends.Inc()
+	obsBytes.Add(int64(len(w.frame)))
+	w.dirty = true
+	if w.opts.Fsync == FsyncAlways {
+		w.flush(true)
+	}
+}
+
+// flush pushes buffered bytes to the OS and optionally fsyncs.
+func (w *wal) flush(fsync bool) {
+	if w.f == nil || w.err != nil {
+		return
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
+		return
+	}
+	if fsync && w.dirty {
+		if err := w.f.Sync(); err != nil {
+			w.fail(err)
+			return
+		}
+		obsFsyncs.Inc()
+		w.dirty = false
+	}
+}
+
+// closeFile closes the current segment (next record opens a fresh one).
+func (w *wal) closeFile() {
+	if w.f == nil {
+		return
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.fail(err)
+	}
+	w.f, w.bw, w.dirty = nil, nil, false
+}
+
+// fail records the first writer error; every record after it is dropped
+// (the log would have a gap otherwise) and sync/close surface the error.
+func (w *wal) fail(err error) {
+	if w.err == nil {
+		w.err = err
+		obs.Error("durable.wal", "err", err)
+	}
+}

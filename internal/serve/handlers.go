@@ -37,14 +37,25 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/queries", s.endpoint("serve.ingest", http.MethodPost, s.handleQueries))
 	mux.HandleFunc("/v1/advise", s.endpoint("serve.advise.api", http.MethodPost, s.handleAdvise))
 	mux.HandleFunc("/v1/views", s.endpoint("serve.views", http.MethodGet, s.handleViews))
-	mux.HandleFunc("/v1/healthz", s.endpoint("serve.healthz", http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/v1/healthz", s.ungatedEndpoint("serve.healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/v1/admin/model", s.endpoint("serve.model.reload", http.MethodPost, s.handleReloadModel))
 	return mux
 }
 
 // endpoint wraps a handler with the shared request surface: traffic
-// counting, a span, the method check, and the draining gate.
+// counting, a span, the method check, the draining gate, and the
+// readiness gate (requests before Start finishes recovery answer 503).
 func (s *Server) endpoint(span, method string, h http.HandlerFunc) http.HandlerFunc {
+	return s.wrap(span, method, true, h)
+}
+
+// ungatedEndpoint skips only the readiness gate: /v1/healthz must answer
+// while durable state is still replaying, reporting state "recovering".
+func (s *Server) ungatedEndpoint(span, method string, h http.HandlerFunc) http.HandlerFunc {
+	return s.wrap(span, method, false, h)
+}
+
+func (s *Server) wrap(span, method string, gated bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		obsRequests.Inc()
 		defer obs.StartSpan(span)()
@@ -56,6 +67,11 @@ func (s *Server) endpoint(span, method string, h http.HandlerFunc) http.HandlerF
 		}
 		if s.closing.Load() {
 			s.writeError(w, r, http.StatusServiceUnavailable, "shutting_down", "server is draining")
+			return
+		}
+		if gated && !s.ready.Load() {
+			s.writeError(w, r, http.StatusServiceUnavailable, "recovering",
+				"server is recovering durable state; poll /v1/healthz for readiness")
 			return
 		}
 		h(w, r)
@@ -285,7 +301,7 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 		}
 		plans[i] = n
 	}
-	switch err := s.sendIngest(ingestMsg{plans: plans}, false); {
+	switch err := s.sendIngest(ingestMsg{plans: plans, sqls: req.Queries}, false); {
 	case errors.Is(err, errQueueFull):
 		obsShed.Inc()
 		s.writeError(w, r, http.StatusTooManyRequests, "overloaded", "ingest queue is full, retry later")
@@ -344,7 +360,11 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 // --- GET /v1/healthz ---------------------------------------------------
 
 type healthResponse struct {
-	Status        string  `json:"status"`
+	Status string `json:"status"`
+	// State is the serving lifecycle: "recovering" (Start is still
+	// replaying durable state; everything but this endpoint answers 503)
+	// or "ready".
+	State         string  `json:"state"`
 	UptimeSeconds float64 `json:"uptime_s"`
 	Window        int     `json:"window"`
 	IngestedTotal uint64  `json:"ingested_total"`
@@ -357,6 +377,7 @@ type healthResponse struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	res := healthResponse{
 		Status:        "ok",
+		State:         "ready",
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Window:        s.window.Len(),
 		IngestedTotal: s.window.Total(),
@@ -368,6 +389,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if m := s.model.Load(); m != nil {
 		res.ModelVersion = m.version
+	}
+	if !s.ready.Load() {
+		res.Status, res.State = "starting", "recovering"
+		s.writeJSON(w, http.StatusServiceUnavailable, res)
+		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
 }

@@ -25,6 +25,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"autoview/internal/core"
+	"autoview/internal/durable"
 	"autoview/internal/engine"
 	"autoview/internal/featenc"
 	"autoview/internal/obs"
@@ -151,21 +153,37 @@ type model struct {
 	version int
 }
 
-// ingestMsg carries parsed plans to the window goroutine; done (when
-// non-nil) is closed after the append, which gives /v1/advise its
+// ingestMsg carries parsed plans (tagged with the SQL they were parsed
+// from, which is what the WAL persists) to the window goroutine; done
+// (when non-nil) is closed after the append, which gives /v1/advise its
 // ingest-before-snapshot barrier.
 type ingestMsg struct {
 	plans []*plan.Node
+	sqls  []string
 	done  chan struct{}
 }
 
-// Server is the online view advisor. Build one with New, mount Handler
-// on an http.Server, and Close it to drain.
+// Server is the online view advisor. Build one with New (or NewServer +
+// Start when the handler must be live — answering /v1/healthz with
+// "recovering" — while durable state replays), mount Handler on an
+// http.Server, and Close it to drain.
 type Server struct {
 	cfg Config
 
+	wl     *workload.Workload
 	adv    *core.Advisor
 	window *core.Window
+
+	// dur is the durable store (nil when running without -data-dir).
+	// durMu makes each state mutation atomic with its WAL append, so a
+	// snapshot never captures a mutation without the record that caused
+	// it (or vice versa). The estimate path never touches either.
+	dur   *durable.Store
+	durMu sync.Mutex
+
+	// ready flips once Start has recovered (or bootstrapped) the serving
+	// state; until then every endpoint but /v1/healthz answers 503.
+	ready atomic.Bool
 
 	model   atomic.Pointer[model]
 	views   atomic.Pointer[ViewSet]
@@ -194,16 +212,28 @@ type Server struct {
 	stopBg     chan struct{}
 }
 
-// New builds a server over the workload's catalog and data, seeds the
-// rolling window with the workload's queries, and runs the bootstrap
-// advise cycle synchronously so the service starts with a trained W-D
-// model (when coreCfg.Estimator is EstimatorWideDeep) and view set
-// version 1. The background loops start immediately; call Close to stop
-// them and drain.
+// New builds and starts a server in one call (NewServer + Start with no
+// durable store): the rolling window is seeded with the workload's
+// queries and the bootstrap advise cycle runs synchronously, so the
+// service returns with a trained W-D model (when coreCfg.Estimator is
+// EstimatorWideDeep) and view set version 1. Call Close to drain.
 func New(w *workload.Workload, coreCfg core.Config, cfg Config) (*Server, error) {
+	s := NewServer(w, coreCfg, cfg)
+	if err := s.Start(context.Background(), nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewServer builds a server without starting it: the HTTP handler is
+// live (so /v1/healthz can report "recovering" while a durable data
+// directory replays) but the window is empty, no model or view set
+// exists, and every other endpoint answers 503 until Start completes.
+func NewServer(w *workload.Workload, coreCfg core.Config, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
+		wl:      w,
 		adv:     core.NewAdvisor(w.Cat, engine.New(w.Populate()), coreCfg),
 		window:  core.NewWindow(cfg.WindowSize),
 		ingest:  make(chan ingestMsg, cfg.IngestQueue),
@@ -214,7 +244,6 @@ func New(w *workload.Workload, coreCfg core.Config, cfg Config) (*Server, error)
 		cacheMetrics{hit: obsCacheHit, miss: obsCacheMiss, evict: obsCacheEvict, size: obsCacheSize})
 	s.planCache = newCache[*planEntry](cfg.CacheSize, cfg.CacheTTL,
 		cacheMetrics{hit: obsPlanCacheHit, miss: obsPlanCacheMiss, evict: obsPlanCacheEvict, size: obsPlanCacheSize})
-	s.window.Append(w.Plans()...)
 	s.batcher = newBatcher(cfg, func() (*widedeep.Model, float64) {
 		m := s.model.Load()
 		if m == nil {
@@ -223,18 +252,55 @@ func New(w *workload.Workload, coreCfg core.Config, cfg Config) (*Server, error)
 		return m.m, m.scale
 	})
 	s.mux = s.routes()
+	return s
+}
 
-	if _, err := s.advise(context.Background(), "bootstrap", false); err != nil {
-		return nil, fmt.Errorf("serve: bootstrap advise: %w", err)
+// Start brings a NewServer-built server into service. With a durable
+// store holding recovered state, the window, view set, and model are
+// restored from it (byte-identically — see internal/durable); with a
+// fresh store the workload seed is logged as the first WAL record and
+// the bootstrap advise cycle persists its model and view set. With no
+// store (dstore nil) the seed + bootstrap path runs without durability.
+// The background loops start and the server reports ready on return.
+func (s *Server) Start(ctx context.Context, dstore *durable.Store) error {
+	s.dur = dstore
+	if st := recoveredState(dstore); st != nil {
+		if err := s.restore(st); err != nil {
+			return err
+		}
+	} else {
+		seedSQLs := make([]string, len(s.wl.Queries))
+		for i := range s.wl.Queries {
+			seedSQLs[i] = s.wl.Queries[i].SQL
+		}
+		s.window.AppendTagged(s.wl.Plans(), seedSQLs)
+		if s.dur != nil {
+			if err := s.dur.AppendIngest(seedSQLs); err != nil {
+				return fmt.Errorf("serve: log workload seed: %w", err)
+			}
+		}
+		if _, err := s.advise(ctx, "bootstrap", false); err != nil {
+			return fmt.Errorf("serve: bootstrap advise: %w", err)
+		}
 	}
 
 	s.bg.Add(1)
 	go s.ingester()
-	if cfg.AdviseInterval > 0 {
+	if s.cfg.AdviseInterval > 0 {
 		s.bg.Add(1)
 		go s.adviseLoop()
 	}
-	return s, nil
+	s.ready.Store(true)
+	return nil
+}
+
+// recoveredState unwraps the nil-store case: a server without
+// durability, or with a fresh data directory, takes the bootstrap path.
+func recoveredState(dstore *durable.Store) *durable.State {
+	if dstore == nil {
+		return nil
+	}
+	return dstore.Recovered()
 }
 
 // Handler returns the service's HTTP handler (the /v1 API plus the
@@ -252,14 +318,28 @@ func (s *Server) Vocab() *featenc.Vocab {
 }
 
 // ingester is the single consumer of the bounded ingest queue: it
-// appends parsed plans to the rolling window in arrival order.
+// appends parsed plans to the rolling window in arrival order and logs
+// each batch to the WAL — both under durMu, so a snapshot can never
+// capture the window mutation without its record. Ranging over the
+// channel means a graceful Close drains every accepted batch into the
+// window and the log before the server reports drained.
 func (s *Server) ingester() {
 	defer s.bg.Done()
 	for msg := range s.ingest {
-		s.window.Append(msg.plans...)
+		if len(msg.plans) > 0 {
+			s.durMu.Lock()
+			s.window.AppendTagged(msg.plans, msg.sqls)
+			if s.dur != nil {
+				if err := s.dur.AppendIngest(msg.sqls); err != nil {
+					obs.Error("serve.durable", "event", "ingest_record_failed", "err", err)
+				}
+			}
+			s.durMu.Unlock()
+		}
 		if msg.done != nil {
 			close(msg.done)
 		}
+		s.maybeSnapshot()
 	}
 }
 
@@ -314,12 +394,14 @@ func (s *Server) adviseLoop() {
 }
 
 // Close gracefully stops the server: new work is rejected with 503,
-// the ingest queue is drained into the window, the batcher finishes
-// every queued estimate, and the background loops exit. The caller is
-// responsible for shutting down its http.Server first (or concurrently)
-// so in-flight handlers can still collect their batch results. Close is
-// bounded by ctx only for the batcher drain; queue consumers always
-// finish their queued work.
+// the ingest queue is drained into the window (and the WAL), the
+// batcher finishes every queued estimate, the background loops exit,
+// and — when running durably — the WAL is flushed and a final snapshot
+// is written so a restart recovers this exact state with no replay.
+// The caller is responsible for shutting down its http.Server first (or
+// concurrently) so in-flight handlers can still collect their batch
+// results. Close is bounded by ctx only for the batcher drain; queue
+// consumers always finish their queued work.
 func (s *Server) Close(ctx context.Context) error {
 	if s.closing.Swap(true) {
 		return nil // already closing
@@ -329,6 +411,14 @@ func (s *Server) Close(ctx context.Context) error {
 	close(s.ingest)
 	err := s.batcher.close(ctx)
 	s.bg.Wait()
+	if s.dur != nil {
+		if serr := s.dur.Sync(); serr != nil {
+			err = errors.Join(err, fmt.Errorf("serve: drain WAL: %w", serr))
+		}
+		if snapErr := s.writeSnapshot(); snapErr != nil {
+			err = errors.Join(err, fmt.Errorf("serve: drain snapshot: %w", snapErr))
+		}
+	}
 	obs.Info("serve.close", "drained", err == nil)
 	return err
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
 	"sort"
@@ -132,7 +133,16 @@ func (s *Server) advise(ctx context.Context, trigger string, force bool) (*Advis
 		}
 	}
 
+	s.durMu.Lock()
 	s.views.Store(next)
+	if s.dur != nil {
+		if raw, err := json.Marshal(next); err != nil {
+			obs.Error("serve.durable", "event", "viewset_record_failed", "version", next.Version, "err", err)
+		} else if err := s.dur.AppendViewSet(raw); err != nil {
+			obs.Error("serve.durable", "event", "viewset_record_failed", "version", next.Version, "err", err)
+		}
+	}
+	s.durMu.Unlock()
 	s.refreshViewPlans(next)
 	obsCycles.Inc()
 	obsSwaps.Inc()
@@ -142,6 +152,15 @@ func (s *Server) advise(ctx context.Context, trigger string, force bool) (*Advis
 	res.Version, res.Swapped = next.Version, true
 	obs.Info("serve.advise", "trigger", trigger, "outcome", "swap", "version", next.Version,
 		"method", next.Method, "views", len(next.Views), "utility", next.Utility, "window", next.Window)
+	if s.dur != nil {
+		// Rotations are rare and operator-visible: force them durable now
+		// rather than waiting out the fsync interval, then take a snapshot
+		// if the record cadence has accumulated.
+		if err := s.dur.Sync(); err != nil {
+			obs.Error("serve.durable", "event", "rotation_sync_failed", "err", err)
+		}
+		s.maybeSnapshot()
+	}
 	return res, nil
 }
 
@@ -164,7 +183,10 @@ func (s *Server) ingestBarrier(ctx context.Context) error {
 }
 
 // swapModel atomically publishes new weights and their cost scale as
-// one unit; in-flight micro-batches keep the model they loaded.
+// one unit; in-flight micro-batches keep the model they loaded. When
+// running durably the checkpoint and its WAL record are persisted under
+// the same durMu hold as the publish, so a snapshot sees either both or
+// neither side of the swap.
 func (s *Server) swapModel(m2 *widedeep.Model, scale float64) {
 	if scale <= 0 {
 		scale = 1
@@ -173,7 +195,11 @@ func (s *Server) swapModel(m2 *widedeep.Model, scale float64) {
 	if cur := s.model.Load(); cur != nil {
 		version = cur.version + 1
 	}
-	s.model.Store(&model{m: m2, scale: scale, version: version})
+	next := &model{m: m2, scale: scale, version: version}
+	s.durMu.Lock()
+	s.model.Store(next)
+	s.persistModel(next)
+	s.durMu.Unlock()
 	// Invalidate cached estimates only after the new model is visible:
 	// a concurrent put that captured the old epoch lands dead, and a
 	// fresh request after the bump recomputes against the new weights.
