@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-race-full test-alloc test-crash fuzz-smoke bench bench-train bench-obs bench-serve bench-cold bench-predict vet lint autoviewlint check-bce
+.PHONY: build test test-race test-race-full test-alloc test-crash fuzz-smoke tournament-smoke bench bench-train bench-obs bench-serve bench-cold bench-predict vet lint autoviewlint check-bce
 
 build:
 	$(GO) build ./...
@@ -43,13 +43,21 @@ test-crash:
 	$(GO) test -run 'TestCrash|TestServeCrash' -count=1 -v ./internal/durable/ ./internal/serve/
 
 # Short native-fuzz pass over the API JSON decode paths, the query
-# fingerprint canonicalizer, and the WAL record decoder (seeds + 10s of
-# mutation per target).
+# fingerprint canonicalizer, the WAL record decoder, and the tournament
+# spec parser (seeds + 10s of mutation per target).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEstimateDecode -fuzztime 10s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz FuzzAdviseDecode -fuzztime 10s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime 10s ./internal/sqlparse/
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/durable/
+	$(GO) test -run '^$$' -fuzz FuzzTournamentSpec -fuzztime 10s ./internal/experiments/
+
+# Tiny selector tournament as a differential gate: every selector
+# (Top-kBen, IterView, DQN, local search, exact ILP) completes on small
+# JOB rungs and holds its asserted optimality-gap bound; the run fails on
+# any violation (see EXPERIMENTS.md "Tournament" and BENCH_10.json).
+tournament-smoke:
+	$(GO) run ./cmd/experiments -run tournament -spec "families=JOB;sizes=4,8"
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -2,8 +2,16 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1|tab1|tab2|tab3|fig9|tab4|fig10|tab5] [-full]
+//	experiments [-run all|fig1|tab1|tab2|tab3|fig9|tab4|fig10|tab5|ablation|tournament]
+//	            [-full] [-spec "families=JOB;sizes=4,8,12;seed=1"] [-out BENCH_10.json]
 //	            [-stats] [-obs-addr host:port] [-log-level debug|info|warn|error]
+//
+// -run tournament races every selector (Top-kBen, IterView, DQN, local
+// search, exact ILP where |Z| permits) across the workload families at
+// growing |Z|; -spec tunes the grid (see experiments.ParseTournamentSpec)
+// and -out writes the machine-readable frontier JSON. The run fails if
+// the differential gate (per-selector optimality-gap bounds on |Z| ≤
+// ilpmax rungs) does not hold.
 //
 // By default a reduced-budget ("quick") configuration is used; -full runs
 // the Table II budgets on the full-size workloads.
@@ -25,8 +33,10 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id: all, fig1, tab1, tab2, tab3, fig9, tab4, fig10, tab5, ablation")
+	run := flag.String("run", "all", "experiment id: all, fig1, tab1, tab2, tab3, fig9, tab4, fig10, tab5, ablation, tournament")
 	full := flag.Bool("full", false, "use the full Table II budgets (slower)")
+	spec := flag.String("spec", "", "tournament grid spec, e.g. families=JOB;sizes=4,8,12;seed=1")
+	out := flag.String("out", "", "write the tournament frontier JSON to this file")
 	stats := flag.Bool("stats", false, "print the observability registry snapshot after the run")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	logLevel := flag.String("log-level", "", "stream structured events to stderr at this level: debug, info, warn, error")
@@ -50,12 +60,12 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := runOne(strings.TrimSpace(id), scale)
+		text, err := runOne(strings.TrimSpace(id), scale, *spec, *out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Print(out)
+		fmt.Print(text)
 		fmt.Printf("  (%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -64,8 +74,30 @@ func main() {
 	}
 }
 
-func runOne(id string, scale experiments.Scale) (string, error) {
+func runOne(id string, scale experiments.Scale, spec, out string) (string, error) {
 	switch id {
+	case "tournament":
+		ts, err := experiments.ParseTournamentSpec(spec)
+		if err != nil {
+			return "", err
+		}
+		r, err := experiments.Tournament(scale, ts)
+		if err != nil {
+			return "", err
+		}
+		if err := r.Check(); err != nil {
+			return "", err
+		}
+		if out != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+				return "", err
+			}
+		}
+		return r.Render(), nil
 	case "fig1":
 		r, err := experiments.Fig1(scale)
 		if err != nil {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	viewgen [-workload job|wk1|wk2] [-estimator actual|optimizer|wd]
-//	        [-selector rlview|bigsub|iterview|topkfreq|topkover|topkben|topknorm]
+//	        [-selector rlview|bigsub|iterview|localsearch|topkfreq|topkover|topkben|topknorm]
 //	        [-schema schema.json -queries queries.sql]
 //	        [-seed N] [-verbose] [-ddl]
 //	        [-stats] [-obs-addr host:port] [-log-level debug|info|warn|error]
@@ -39,7 +39,7 @@ func main() {
 	schemaPath := flag.String("schema", "", "JSON schema file for a custom workload (with -queries)")
 	queriesPath := flag.String("queries", "", "SQL file with the custom workload's queries")
 	est := flag.String("estimator", "wd", "benefit estimator: actual, optimizer, wd")
-	sel := flag.String("selector", "rlview", "view selector: rlview, bigsub, iterview, topkfreq, topkover, topkben, topknorm")
+	sel := flag.String("selector", "rlview", "view selector: rlview, bigsub, iterview, localsearch, topkfreq, topkover, topkben, topknorm")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("verbose", false, "print selected view plans")
 	ddl := flag.Bool("ddl", false, "print CREATE MATERIALIZED VIEW statements for the selection")
@@ -66,10 +66,10 @@ func main() {
 		fail(err)
 	}
 	cfg.Seed = *seed
-	if cfg.Estimator, err = parseEstimator(*est); err != nil {
+	if cfg.Estimator, err = core.ParseEstimator(*est); err != nil {
 		fail(err)
 	}
-	if cfg.Selector, err = parseSelector(*sel); err != nil {
+	if cfg.Selector, err = core.ParseSelector(*sel); err != nil {
 		fail(err)
 	}
 
@@ -173,40 +173,6 @@ func pick(name string) (*workload.Workload, core.Config, error) {
 		return workload.WK2(), core.WKConfig(), nil
 	default:
 		return nil, core.Config{}, fmt.Errorf("unknown workload %q", name)
-	}
-}
-
-func parseEstimator(name string) (core.EstimatorKind, error) {
-	switch strings.ToLower(name) {
-	case "actual":
-		return core.EstimatorActual, nil
-	case "optimizer":
-		return core.EstimatorOptimizer, nil
-	case "wd", "w-d", "widedeep":
-		return core.EstimatorWideDeep, nil
-	default:
-		return 0, fmt.Errorf("unknown estimator %q", name)
-	}
-}
-
-func parseSelector(name string) (core.SelectorKind, error) {
-	switch strings.ToLower(name) {
-	case "rlview":
-		return core.SelectorRLView, nil
-	case "bigsub":
-		return core.SelectorBigSub, nil
-	case "iterview":
-		return core.SelectorIterView, nil
-	case "topkfreq":
-		return core.SelectorTopkFreq, nil
-	case "topkover":
-		return core.SelectorTopkOver, nil
-	case "topkben":
-		return core.SelectorTopkBen, nil
-	case "topknorm":
-		return core.SelectorTopkNorm, nil
-	default:
-		return 0, fmt.Errorf("unknown selector %q", name)
 	}
 }
 

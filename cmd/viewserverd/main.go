@@ -9,7 +9,7 @@
 //	viewserverd [-addr host:port] [-workload job|wk1|wk2]
 //	            [-schema schema.json -queries queries.sql]
 //	            [-estimator actual|optimizer|wd]
-//	            [-selector rlview|bigsub|iterview|topkfreq|topkover|topkben|topknorm]
+//	            [-selector rlview|bigsub|iterview|localsearch|topkfreq|topkover|topkben|topknorm]
 //	            [-seed N] [-parallelism N] [-window N]
 //	            [-advise-interval DUR] [-utility-tolerance F]
 //	            [-cache-size N] [-cache-ttl DUR]
@@ -56,7 +56,7 @@ func main() {
 	schemaPath := flag.String("schema", "", "JSON schema file for a custom workload (with -queries)")
 	queriesPath := flag.String("queries", "", "SQL file with the custom workload's queries")
 	est := flag.String("estimator", "wd", "benefit estimator: actual, optimizer, wd")
-	sel := flag.String("selector", "rlview", "view selector: rlview, bigsub, iterview, topkfreq, topkover, topkben, topknorm")
+	sel := flag.String("selector", "rlview", "view selector: rlview, bigsub, iterview, localsearch, topkfreq, topkover, topkben, topknorm")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallelism := flag.Int("parallelism", 0, "micro-batcher inference workers (0 = NumCPU, 1 = serial)")
 	windowSize := flag.Int("window", 512, "rolling workload window capacity (queries)")
@@ -130,10 +130,10 @@ func run(o options) error {
 	}
 	coreCfg.Seed = o.seed
 	coreCfg.Parallelism = o.parallelism
-	if coreCfg.Estimator, err = parseEstimator(o.estimator); err != nil {
+	if coreCfg.Estimator, err = core.ParseEstimator(o.estimator); err != nil {
 		return err
 	}
-	if coreCfg.Selector, err = parseSelector(o.selector); err != nil {
+	if coreCfg.Selector, err = core.ParseSelector(o.selector); err != nil {
 		return err
 	}
 
@@ -282,39 +282,5 @@ func loadWorkload(o options) (*workload.Workload, core.Config, error) {
 		return workload.WK2(), core.WKConfig(), nil
 	default:
 		return nil, core.Config{}, fmt.Errorf("unknown workload %q", o.workload)
-	}
-}
-
-func parseEstimator(name string) (core.EstimatorKind, error) {
-	switch strings.ToLower(name) {
-	case "actual":
-		return core.EstimatorActual, nil
-	case "optimizer":
-		return core.EstimatorOptimizer, nil
-	case "wd", "w-d", "widedeep":
-		return core.EstimatorWideDeep, nil
-	default:
-		return 0, fmt.Errorf("unknown estimator %q", name)
-	}
-}
-
-func parseSelector(name string) (core.SelectorKind, error) {
-	switch strings.ToLower(name) {
-	case "rlview":
-		return core.SelectorRLView, nil
-	case "bigsub":
-		return core.SelectorBigSub, nil
-	case "iterview":
-		return core.SelectorIterView, nil
-	case "topkfreq":
-		return core.SelectorTopkFreq, nil
-	case "topkover":
-		return core.SelectorTopkOver, nil
-	case "topkben":
-		return core.SelectorTopkBen, nil
-	case "topknorm":
-		return core.SelectorTopkNorm, nil
-	default:
-		return 0, fmt.Errorf("unknown selector %q", name)
 	}
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"autoview/internal/core"
+)
+
+// baseOptions returns a minimal valid option set; individual tests break
+// one field to drive run's flag-validation paths.
+func baseOptions() options {
+	return options{
+		workload:  "wk1",
+		estimator: "wd",
+		selector:  "rlview",
+		logLevel:  "warn",
+	}
+}
+
+func TestRunRejectsUnknownSelector(t *testing.T) {
+	o := baseOptions()
+	o.selector = "bogus"
+	err := run(o)
+	if err == nil || !strings.Contains(err.Error(), "unknown selector") {
+		t.Fatalf("want unknown-selector error, got %v", err)
+	}
+}
+
+func TestRunRejectsUnknownEstimator(t *testing.T) {
+	o := baseOptions()
+	o.estimator = "bogus"
+	err := run(o)
+	if err == nil || !strings.Contains(err.Error(), "unknown estimator") {
+		t.Fatalf("want unknown-estimator error, got %v", err)
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	o := baseOptions()
+	o.workload = "nope"
+	err := run(o)
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("want unknown-workload error, got %v", err)
+	}
+}
+
+// TestSelectorFlagAcceptsEveryRegisteredName pins the -selector flag's
+// value domain to the core registry, localsearch included.
+func TestSelectorFlagAcceptsEveryRegisteredName(t *testing.T) {
+	for name := range core.SelectorNames() {
+		if _, err := core.ParseSelector(name); err != nil {
+			t.Errorf("selector %q rejected: %v", name, err)
+		}
+	}
+	if _, err := core.ParseSelector("localsearch"); err != nil {
+		t.Errorf("localsearch must be reachable from the flag: %v", err)
+	}
+}

@@ -443,6 +443,14 @@ func (a *Advisor) selectViews(p *Problem) (*Selection, error) {
 		opts.Rand = rng
 		res := mvs.IterView(in, opts)
 		return &Selection{Method: "IterView", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}, nil
+	case SelectorLocalSearch:
+		opts := a.Cfg.Local
+		opts.Rand = rng
+		if opts.Parallelism == 0 {
+			opts.Parallelism = a.Cfg.Parallelism
+		}
+		res := mvs.LocalSearch(in, opts)
+		return &Selection{Method: "LocalSearch", Z: res.Best.Z, Utility: res.BestUtility, Trace: res.Trace}, nil
 	default:
 		strategy, ok := strategyOf(a.Cfg.Selector)
 		if !ok {

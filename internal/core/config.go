@@ -27,6 +27,9 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"autoview/internal/engine"
 	"autoview/internal/featenc"
 	"autoview/internal/mvs"
@@ -78,6 +81,9 @@ const (
 	SelectorTopkOver
 	SelectorTopkBen
 	SelectorTopkNorm
+	// SelectorLocalSearch is the hill-climbing local search (add/drop/
+	// swap neighborhood, restart schedule) of mvs.LocalSearch.
+	SelectorLocalSearch
 )
 
 // String returns the paper's method name.
@@ -97,8 +103,49 @@ func (s SelectorKind) String() string {
 		return "TopkBen"
 	case SelectorTopkNorm:
 		return "TopkNorm"
+	case SelectorLocalSearch:
+		return "LocalSearch"
 	default:
 		return "?"
+	}
+}
+
+// SelectorNames maps every flag-accepted selector name to its kind; it is
+// the single registry both CLIs parse against (keys are lower-case).
+func SelectorNames() map[string]SelectorKind {
+	return map[string]SelectorKind{
+		"rlview":      SelectorRLView,
+		"bigsub":      SelectorBigSub,
+		"iterview":    SelectorIterView,
+		"topkfreq":    SelectorTopkFreq,
+		"topkover":    SelectorTopkOver,
+		"topkben":     SelectorTopkBen,
+		"topknorm":    SelectorTopkNorm,
+		"localsearch": SelectorLocalSearch,
+	}
+}
+
+// ParseSelector resolves a flag value (case-insensitive) against
+// SelectorNames.
+func ParseSelector(name string) (SelectorKind, error) {
+	if s, ok := SelectorNames()[strings.ToLower(name)]; ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("unknown selector %q", name)
+}
+
+// ParseEstimator resolves a flag value (case-insensitive) to an
+// EstimatorKind.
+func ParseEstimator(name string) (EstimatorKind, error) {
+	switch strings.ToLower(name) {
+	case "actual":
+		return EstimatorActual, nil
+	case "optimizer":
+		return EstimatorOptimizer, nil
+	case "wd", "w-d", "widedeep":
+		return EstimatorWideDeep, nil
+	default:
+		return 0, fmt.Errorf("unknown estimator %q", name)
 	}
 }
 
@@ -123,6 +170,10 @@ type Config struct {
 	// Iter configures IterView/BigSub (Table II: n1 as warm start, and
 	// the iteration budget n for the convergence experiment).
 	Iter mvs.IterOptions
+	// Local configures the hill-climbing local search (restart schedule,
+	// optional storage budget). Rand and Parallelism are filled by the
+	// advisor.
+	Local mvs.LocalSearchOptions
 	// RL configures RLView (Table II: n1, n2, nm, γ).
 	RL rl.Options
 	// RLPretrainUpdates, when positive, pretrains the DQN offline from

@@ -41,6 +41,11 @@ type Problem struct {
 	// budget is exhausted the best incumbent is returned with
 	// optimal=false.
 	NodeBudget int
+	// Warm, when non-nil, is a warm-start assignment: if it is feasible
+	// it becomes the initial incumbent, so the bound prunes against a
+	// strong value from the first node (infeasible warm starts are
+	// ignored). Callers typically seed it from a heuristic solution.
+	Warm []bool
 }
 
 // Solution is the result of Maximize.
@@ -76,11 +81,44 @@ func (p *Problem) Maximize() (Solution, error) {
 		return math.Abs(p.Obj[order[a]]) > math.Abs(p.Obj[order[b]])
 	})
 
-	// suffixPos[k] = sum of positive objective coefficients of
-	// order[k:]; the additive upper bound for the unfixed tail.
-	suffixPos := make([]float64, n+1)
+	// suffixBound[k] is an admissible bound on the objective the unfixed
+	// tail order[k:] can still contribute. The base form sums positive
+	// coefficients; variables covered by an all-ones Σx ≤ 1 constraint
+	// (a clique / GUB row) are partitioned into one group per such
+	// constraint and contribute at most their group's maximum — any
+	// feasible assignment picks at most one variable per group, so the
+	// grouped sum still over-estimates every completion while pruning
+	// set-packing structures exponentially harder than the plain sum.
+	groupOf := make([]int, n)
+	for v := range groupOf {
+		groupOf[v] = -1
+	}
+	for gid, c := range p.Cons {
+		if !isCliqueRow(c) {
+			continue
+		}
+		for _, t := range c.Terms {
+			if groupOf[t.Var] < 0 {
+				groupOf[t.Var] = gid
+			}
+		}
+	}
+	suffixBound := make([]float64, n+1)
+	groupMax := make(map[int]float64, len(p.Cons))
 	for k := n - 1; k >= 0; k-- {
-		suffixPos[k] = suffixPos[k+1] + math.Max(0, p.Obj[order[k]])
+		v := order[k]
+		pos := math.Max(0, p.Obj[v])
+		g := groupOf[v]
+		if g < 0 {
+			suffixBound[k] = suffixBound[k+1] + pos
+			continue
+		}
+		inc := 0.0
+		if pos > groupMax[g] {
+			inc = pos - groupMax[g]
+			groupMax[g] = pos
+		}
+		suffixBound[k] = suffixBound[k+1] + inc
 	}
 
 	// varCons[v] lists the constraints touching v for incremental slack
@@ -111,6 +149,30 @@ func (p *Problem) Maximize() (Solution, error) {
 	}
 
 	sol := Solution{X: make([]bool, n), Value: math.Inf(-1)}
+	if len(p.Warm) == n {
+		feasible := true
+		for _, c := range p.Cons {
+			var lhs float64
+			for _, t := range c.Terms {
+				if p.Warm[t.Var] {
+					lhs += t.Coef
+				}
+			}
+			if lhs > c.RHS+1e-9 {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			copy(sol.X, p.Warm)
+			sol.Value = 0
+			for v, set := range p.Warm {
+				if set {
+					sol.Value += p.Obj[v]
+				}
+			}
+		}
+	}
 	cur := make([]bool, n)
 	var curVal float64
 	nodes := 0
@@ -121,7 +183,7 @@ func (p *Problem) Maximize() (Solution, error) {
 		if nodes > budget {
 			return false
 		}
-		if curVal+suffixPos[k] <= sol.Value {
+		if curVal+suffixBound[k] <= sol.Value {
 			return true // cannot beat the incumbent
 		}
 		if k == n {
@@ -223,6 +285,22 @@ func (p *Problem) Maximize() (Solution, error) {
 		sol.Value = 0
 	}
 	return sol, nil
+}
+
+// isCliqueRow reports whether a constraint is an all-ones Σx ≤ 1 row —
+// the GUB/clique shape the suffix bound can exploit. Coefficients and
+// the RHS are compared against 1 with a tolerance so analytically
+// constructed rows qualify regardless of float provenance.
+func isCliqueRow(c Constraint) bool {
+	if len(c.Terms) < 2 || math.Abs(c.RHS-1) > 1e-12 {
+		return false
+	}
+	for _, t := range c.Terms {
+		if math.Abs(t.Coef-1) > 1e-12 {
+			return false
+		}
+	}
+	return true
 }
 
 // MaxWeightIndependentSet solves max Σ w_i x_i subject to x_i + x_j ≤ 1

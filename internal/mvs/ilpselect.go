@@ -1,0 +1,186 @@
+package mvs
+
+import "autoview/internal/ilp"
+
+// SolveILP solves the MVS instance exactly by handing Definition 7's
+// monolithic 0-1 program to the generic branch-and-bound of internal/ilp
+// — the shape the paper feeds to PuLP/Gurobi, kept as an independent
+// oracle for the decomposed solvers of optimal.go/decompose.go.
+//
+// Variables: z_j for every view, plus y_ij for every applicable pair
+// (B_ij > 0; non-positive pairs can never appear in an optimum because
+// the overlap constraints only restrict usage). Constraints:
+//
+//	y_ij − z_j ≤ 0                        (usage needs materialization)
+//	y_ij + y_ik ≤ 1  for overlapping j,k  (Definition 5 exclusion)
+//
+// One exact presolve reduction keeps the variable count tractable: when
+// view j does not overlap any other view applicable to query i, the only
+// constraint on y_ij is y_ij ≤ z_j, and B_ij > 0, so every optimum sets
+// y_ij = z_j — the variable is eliminated and B_ij folds into z_j's
+// objective coefficient. Only genuinely conflicted pairs stay explicit.
+//
+// nodeBudget caps the branch-and-bound (0 = the internal/ilp default);
+// the incumbent is returned with Optimal=false when it is exhausted.
+func SolveILP(in *Instance, nodeBudget int) *OptResult {
+	nq, nv := in.NumQueries(), in.NumViews()
+
+	// Variable layout: [0, nv) are z_j; conflicted y_ij follow.
+	type pair struct{ i, j int }
+	var pairs []pair
+	obj := make([]float64, nv)
+	for j := 0; j < nv; j++ {
+		obj[j] = -in.Overhead[j]
+	}
+	p := &ilp.Problem{NodeBudget: nodeBudget}
+	for i := 0; i < nq; i++ {
+		var applicable []int
+		for j := 0; j < nv; j++ {
+			if in.Benefit[i][j] > 0 {
+				applicable = append(applicable, j)
+			}
+		}
+		rowVar := make(map[int]int, len(applicable))
+		for _, j := range applicable {
+			conflicted := false
+			for _, k := range applicable {
+				if k != j && in.Overlap[j][k] {
+					conflicted = true
+					break
+				}
+			}
+			if !conflicted {
+				obj[j] += in.Benefit[i][j] // y_ij = z_j in every optimum
+				continue
+			}
+			v := nv + len(pairs)
+			rowVar[j] = v
+			pairs = append(pairs, pair{i, j})
+			obj = append(obj, in.Benefit[i][j])
+			p.Cons = append(p.Cons, ilp.Constraint{
+				Terms: []ilp.Term{{Var: v, Coef: 1}, {Var: j, Coef: -1}},
+				RHS:   0,
+			})
+		}
+		// Cover the query's conflict graph with cliques (greedy): each
+		// clique becomes one Σ y ≤ 1 row — equivalent to its pairwise
+		// constraints but in the GUB shape internal/ilp's suffix bound
+		// exploits. Overlapping pairs spanning two cliques keep their
+		// pairwise row.
+		var conflicted []int
+		for _, j := range applicable {
+			if _, ok := rowVar[j]; ok {
+				conflicted = append(conflicted, j)
+			}
+		}
+		cliqueOf := make(map[int]int, len(conflicted))
+		var cliques [][]int
+		for _, j := range conflicted {
+			placed := false
+			for ci, members := range cliques {
+				all := true
+				for _, k := range members {
+					if !in.Overlap[j][k] {
+						all = false
+						break
+					}
+				}
+				if all {
+					cliques[ci] = append(members, j)
+					cliqueOf[j] = ci
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				cliqueOf[j] = len(cliques)
+				cliques = append(cliques, []int{j})
+			}
+		}
+		for _, members := range cliques {
+			if len(members) < 2 {
+				continue
+			}
+			var terms []ilp.Term
+			for _, j := range members {
+				terms = append(terms, ilp.Term{Var: rowVar[j], Coef: 1})
+			}
+			p.Cons = append(p.Cons, ilp.Constraint{Terms: terms, RHS: 1})
+		}
+		for a, j := range conflicted {
+			for _, k := range conflicted[a+1:] {
+				if in.Overlap[j][k] && cliqueOf[j] != cliqueOf[k] {
+					p.Cons = append(p.Cons, ilp.Constraint{
+						Terms: []ilp.Term{{Var: rowVar[j], Coef: 1}, {Var: rowVar[k], Coef: 1}},
+						RHS:   1,
+					})
+				}
+			}
+		}
+	}
+	p.Obj = obj
+
+	// Warm-start the incumbent from a quick deterministic local search:
+	// the bound then prunes against a near-optimal value from the first
+	// node. Exactness is unaffected — the warm start only tightens
+	// pruning.
+	ls := LocalSearch(in, LocalSearchOptions{Restarts: 2})
+	warm := make([]bool, len(obj))
+	copy(warm, ls.Best.Z)
+	for v, pr := range pairs {
+		warm[nv+v] = ls.Best.Y[pr.i][pr.j]
+	}
+	p.Warm = warm
+
+	sol, err := p.Maximize()
+	if err != nil {
+		// Unreachable: the encoding above never emits out-of-range
+		// variables. Degrade to the empty selection.
+		return &OptResult{State: NewState(in), Optimal: false}
+	}
+	st := NewState(in)
+	for j := 0; j < nv; j++ {
+		st.Z[j] = sol.X[j]
+	}
+	for i := 0; i < nq; i++ {
+		for j := 0; j < nv; j++ {
+			// Eliminated pairs follow z; conflicted pairs follow their
+			// solved variable (set below).
+			if in.Benefit[i][j] > 0 && st.Z[j] && !rowConflicted(in, i, j) {
+				st.Y[i][j] = true
+			}
+		}
+	}
+	for v, pr := range pairs {
+		if sol.X[nv+v] {
+			st.Y[pr.i][pr.j] = true
+		}
+	}
+	return &OptResult{
+		State:   st,
+		Utility: in.Utility(st),
+		Optimal: sol.Optimal,
+		Nodes:   sol.Nodes,
+	}
+}
+
+// rowConflicted reports whether view j overlaps another view applicable
+// to query i (the pairs SolveILP keeps as explicit variables).
+func rowConflicted(in *Instance, i, j int) bool {
+	for k, b := range in.Benefit[i] {
+		if k != j && b > 0 && in.Overlap[j][k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Project returns the sub-instance induced by the given view indices
+// plus the original indices of the queries it keeps (those that benefit
+// from at least one member). members must be duplicate-free; the
+// sub-instance's view axis follows members order. The tournament
+// harness uses this to race selectors at growing |Z| on slices of one
+// measured instance.
+func Project(in *Instance, members []int) (*Instance, []int) {
+	return subInstance(in, members)
+}

@@ -1,0 +1,185 @@
+package mvs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLocalSearchMatchesOptimumOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(rng, 3+rng.Intn(20), 3+rng.Intn(10))
+		opt := OptimalExact(in, 0)
+		ls := LocalSearch(in, LocalSearchOptions{Rand: rand.New(rand.NewSource(7))})
+		// With the greedy-seeded restart plus three random restarts the
+		// climber reaches the exact optimum on every one of these seeded
+		// instances; pinning equality (not just a gap bound) makes any
+		// future quality regression loud.
+		if ls.BestUtility < opt.Utility-1e-9 {
+			t.Errorf("trial %d: local search %v below optimum %v", trial, ls.BestUtility, opt.Utility)
+		}
+		if ls.BestUtility > opt.Utility+1e-9 {
+			t.Errorf("trial %d: local search %v above optimum %v (accounting bug)", trial, ls.BestUtility, opt.Utility)
+		}
+		if !in.Feasible(ls.Best) {
+			t.Errorf("trial %d: infeasible state", trial)
+		}
+		if u := in.Utility(ls.Best); u != ls.BestUtility {
+			t.Errorf("trial %d: reported utility %v != recomputed %v", trial, ls.BestUtility, u)
+		}
+	}
+}
+
+func TestLocalSearchBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randomInstance(rng, 12, 8)
+	var minOver, totalOver float64
+	minOver = math.Inf(1)
+	for _, o := range in.Overhead {
+		totalOver += o
+		if o < minOver {
+			minOver = o
+		}
+	}
+
+	cases := []struct {
+		name   string
+		budget float64
+	}{
+		{"below-min-overhead", minOver * 0.5},
+		{"mid", totalOver * 0.3},
+		{"exactly-total", totalOver},
+		{"unbounded-zero", 0},
+		{"unbounded-negative", -1},
+	}
+	unbounded := LocalSearch(in, LocalSearchOptions{Rand: rand.New(rand.NewSource(2))})
+	for _, tc := range cases {
+		res := LocalSearch(in, LocalSearchOptions{Budget: tc.budget, Rand: rand.New(rand.NewSource(2))})
+		over := in.SelectionOverhead(res.Best.Z)
+		if tc.budget > 0 && over > tc.budget+1e-9 {
+			t.Errorf("%s: overhead %v exceeds budget %v", tc.name, over, tc.budget)
+		}
+		if !in.Feasible(res.Best) {
+			t.Errorf("%s: infeasible", tc.name)
+		}
+		switch tc.name {
+		case "below-min-overhead":
+			if len(SelectedViews(res.Best.Z)) != 0 || res.BestUtility != 0 {
+				t.Errorf("%s: want empty selection, got %v ($%v)", tc.name, SelectedViews(res.Best.Z), res.BestUtility)
+			}
+		case "unbounded-zero", "unbounded-negative", "exactly-total":
+			// Σ O_j can never be exceeded, so these are all unbounded.
+			if res.BestUtility != unbounded.BestUtility {
+				t.Errorf("%s: utility %v != unbounded %v", tc.name, res.BestUtility, unbounded.BestUtility)
+			}
+		}
+	}
+}
+
+func TestLocalSearchDeterministicAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(12), 4+rng.Intn(8))
+		var ref *LocalSearchResult
+		for _, par := range []int{1, 4, 8} {
+			res := LocalSearch(in, LocalSearchOptions{
+				Rand:        rand.New(rand.NewSource(21)),
+				Parallelism: par,
+			})
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.BestUtility != ref.BestUtility {
+				t.Errorf("trial %d P=%d: utility %v != P=1 %v", trial, par, res.BestUtility, ref.BestUtility)
+			}
+			for j := range res.Best.Z {
+				if res.Best.Z[j] != ref.Best.Z[j] {
+					t.Fatalf("trial %d P=%d: selection differs at view %d", trial, par, j)
+				}
+			}
+			if len(res.Trace) != len(ref.Trace) {
+				t.Fatalf("trial %d P=%d: trace length %d != %d", trial, par, len(res.Trace), len(ref.Trace))
+			}
+			for i := range res.Trace {
+				if res.Trace[i] != ref.Trace[i] {
+					t.Fatalf("trial %d P=%d: trace diverges at move %d", trial, par, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalSearchAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := randomInstance(rng, 15, 9)
+	res := LocalSearch(in, LocalSearchOptions{Rand: rand.New(rand.NewSource(3))})
+	if res.Moves != len(res.Trace) {
+		t.Errorf("moves %d != trace length %d", res.Moves, len(res.Trace))
+	}
+	if res.Evaluations < res.Moves {
+		t.Errorf("evaluations %d below accepted moves %d", res.Evaluations, res.Moves)
+	}
+	sel := SelectedViews(res.Best.Z)
+	for i := 1; i < len(sel); i++ {
+		if sel[i] <= sel[i-1] {
+			t.Fatalf("selection not strictly ascending: %v", sel)
+		}
+	}
+	if res.BestRestart < 0 || res.BestRestart >= 4 {
+		t.Errorf("best restart %d outside schedule", res.BestRestart)
+	}
+}
+
+func TestLocalSearchEmptyAndDegenerate(t *testing.T) {
+	// No views at all.
+	empty := &Instance{Benefit: [][]float64{}, Overhead: nil, Overlap: [][]bool{}}
+	res := LocalSearch(empty, LocalSearchOptions{})
+	if res.BestUtility != 0 || len(res.Best.Z) != 0 {
+		t.Errorf("empty instance: %+v", res)
+	}
+
+	// Views nobody benefits from: the empty selection is optimal.
+	useless := &Instance{
+		Benefit:  [][]float64{{0, -1}, {-2, 0}},
+		Overhead: []float64{1, 1},
+		Overlap:  [][]bool{{false, false}, {false, false}},
+	}
+	res = LocalSearch(useless, LocalSearchOptions{})
+	if res.BestUtility != 0 || len(SelectedViews(res.Best.Z)) != 0 {
+		t.Errorf("useless views selected: %+v", SelectedViews(res.Best.Z))
+	}
+
+	// A single profitable view must be found.
+	one := &Instance{
+		Benefit:  [][]float64{{5}},
+		Overhead: []float64{1},
+		Overlap:  [][]bool{{false}},
+	}
+	res = LocalSearch(one, LocalSearchOptions{})
+	if res.BestUtility != 4 {
+		t.Errorf("single view: utility %v, want 4", res.BestUtility)
+	}
+}
+
+func TestSelectedViewsAndOverhead(t *testing.T) {
+	z := []bool{true, false, true, true, false}
+	got := SelectedViews(z)
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("SelectedViews = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SelectedViews = %v, want %v", got, want)
+		}
+	}
+	in := &Instance{Overhead: []float64{1, 2, 4, 8, 16}}
+	if o := in.SelectionOverhead(z); o != 13 {
+		t.Errorf("SelectionOverhead = %v, want 13", o)
+	}
+	if got := SelectedViews(make([]bool, 3)); got != nil {
+		t.Errorf("empty selection should be nil, got %v", got)
+	}
+}
